@@ -1,0 +1,285 @@
+// Experiment E7 — substrate microbenchmarks (google-benchmark).
+//
+// Grounds the paper's "the underlying constants will typically be very
+// small" remark and the MPC(m,s) = m * SPIR(2,1,kappa) + O(kappa*s) cost
+// model: per-gate garbling cost, per-transfer OT cost (base vs IKNP
+// extension ablation), Paillier operation costs, and the bignum/field
+// kernels everything reduces to.
+#include <benchmark/benchmark.h>
+
+#include <optional>
+
+#include "bignum/modarith.h"
+#include "bignum/primes.h"
+#include "circuits/boolean_circuit.h"
+#include "crypto/prg.h"
+#include "crypto/sha256.h"
+#include "field/fp64.h"
+#include "he/goldwasser_micali.h"
+#include "he/paillier.h"
+#include "mpc/yao.h"
+#include "ot/base_ot.h"
+#include "ot/ot_extension.h"
+#include "pir/itpir.h"
+#include "sharing/shamir.h"
+
+namespace {
+
+using namespace spfe;
+using bignum::BigInt;
+
+// --- bignum ------------------------------------------------------------------
+
+void BM_BigIntMul(benchmark::State& state) {
+  crypto::Prg prg("bm-mul");
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  const BigInt a = BigInt::random_bits(prg, bits);
+  const BigInt b = BigInt::random_bits(prg, bits);
+  for (auto _ : state) benchmark::DoNotOptimize(a * b);
+}
+BENCHMARK(BM_BigIntMul)->Arg(512)->Arg(1024)->Arg(4096);
+
+void BM_BigIntDivMod(benchmark::State& state) {
+  crypto::Prg prg("bm-div");
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  const BigInt a = BigInt::random_bits(prg, 2 * bits);
+  const BigInt b = BigInt::random_bits(prg, bits);
+  for (auto _ : state) {
+    BigInt q, r;
+    BigInt::divmod(a, b, q, r);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_BigIntDivMod)->Arg(512)->Arg(1024);
+
+void BM_ModPowMontgomery(benchmark::State& state) {
+  crypto::Prg prg("bm-mont");
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  BigInt mod = BigInt::random_bits(prg, bits);
+  if (!mod.is_odd()) mod += BigInt(1);
+  const bignum::MontgomeryContext ctx(mod);
+  const BigInt base = BigInt::random_below(prg, mod);
+  const BigInt exp = BigInt::random_bits(prg, bits);
+  for (auto _ : state) benchmark::DoNotOptimize(ctx.pow(base, exp));
+}
+BENCHMARK(BM_ModPowMontgomery)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_ModPowNaiveDivmod(benchmark::State& state) {
+  // Ablation: square-and-multiply with Knuth-division reduction instead of
+  // Montgomery (the design-choice ablation from DESIGN.md).
+  crypto::Prg prg("bm-naive");
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  BigInt mod = BigInt::random_bits(prg, bits);
+  if (!mod.is_odd()) mod += BigInt(1);
+  const BigInt base = BigInt::random_below(prg, mod);
+  const BigInt exp = BigInt::random_bits(prg, bits);
+  for (auto _ : state) {
+    BigInt result(1);
+    for (std::size_t i = exp.bit_length(); i-- > 0;) {
+      result = bignum::mod_mul(result, result, mod);
+      if (exp.bit(i)) result = bignum::mod_mul(result, base, mod);
+    }
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ModPowNaiveDivmod)->Arg(512)->Arg(1024);
+
+void BM_MillerRabinPrime(benchmark::State& state) {
+  crypto::Prg prg("bm-mr");
+  const BigInt p = bignum::random_prime(prg, static_cast<std::size_t>(state.range(0)), 40);
+  for (auto _ : state) benchmark::DoNotOptimize(bignum::is_probable_prime(p, prg, 16));
+}
+BENCHMARK(BM_MillerRabinPrime)->Arg(256)->Arg(512);
+
+// --- symmetric crypto ----------------------------------------------------------
+
+void BM_Sha256Throughput(benchmark::State& state) {
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xa5);
+  for (auto _ : state) benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256Throughput)->Arg(64)->Arg(4096)->Arg(1 << 16);
+
+void BM_ChaChaPrgThroughput(benchmark::State& state) {
+  crypto::Prg prg("bm-prg");
+  Bytes out(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    prg.fill(out.data(), out.size());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_ChaChaPrgThroughput)->Arg(4096)->Arg(1 << 16);
+
+// --- fields --------------------------------------------------------------------
+
+void BM_Fp64Mul(benchmark::State& state) {
+  const field::Fp64 f(field::Fp64::kMersenne61);
+  crypto::Prg prg("bm-fp64");
+  std::uint64_t a = f.random(prg), b = f.random(prg);
+  for (auto _ : state) {
+    a = f.mul(a, b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_Fp64Mul);
+
+void BM_SelectionPolynomialEval(benchmark::State& state) {
+  // The §3.1 / IT-PIR server kernel: P0 at a random point, O(n) mults.
+  const field::Fp64 f(field::Fp64::kMersenne61);
+  crypto::Prg prg("bm-selpoly");
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> db(n);
+  for (auto& v : db) v = f.random(prg);
+  std::size_t l = 0;
+  while ((std::size_t(1) << l) < n) ++l;
+  std::vector<std::uint64_t> point(l);
+  for (auto& v : point) v = f.random(prg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pir::eval_selection_polynomial(f, db, point));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_SelectionPolynomialEval)->Arg(1024)->Arg(65536)->Arg(1 << 20);
+
+void BM_ShamirShareReconstruct(benchmark::State& state) {
+  const field::Fp64 f(field::Fp64::kMersenne61);
+  crypto::Prg prg("bm-shamir");
+  const std::size_t t = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto shares = sharing::shamir_split(f, f.random(prg), 2 * t + 1, t, prg);
+    benchmark::DoNotOptimize(sharing::shamir_reconstruct(f, shares));
+  }
+}
+BENCHMARK(BM_ShamirShareReconstruct)->Arg(2)->Arg(8)->Arg(32);
+
+// --- homomorphic encryption -----------------------------------------------------
+
+class PaillierFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State& state) override {
+    if (!sk_ || sk_bits_ != static_cast<std::size_t>(state.range(0))) {
+      sk_bits_ = static_cast<std::size_t>(state.range(0));
+      crypto::Prg prg("bm-paillier-" + std::to_string(sk_bits_));
+      sk_.emplace(he::paillier_keygen(prg, sk_bits_));
+    }
+  }
+
+ protected:
+  static std::optional<he::PaillierPrivateKey> sk_;
+  static std::size_t sk_bits_;
+};
+std::optional<he::PaillierPrivateKey> PaillierFixture::sk_;
+std::size_t PaillierFixture::sk_bits_ = 0;
+
+BENCHMARK_DEFINE_F(PaillierFixture, Encrypt)(benchmark::State& state) {
+  crypto::Prg prg("enc");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sk_->public_key().encrypt(BigInt(123456), prg));
+  }
+}
+BENCHMARK_REGISTER_F(PaillierFixture, Encrypt)->Arg(512)->Arg(1024)->Arg(2048);
+
+BENCHMARK_DEFINE_F(PaillierFixture, Decrypt)(benchmark::State& state) {
+  crypto::Prg prg("dec");
+  const BigInt c = sk_->public_key().encrypt(BigInt(123456), prg);
+  for (auto _ : state) benchmark::DoNotOptimize(sk_->decrypt(c));
+}
+BENCHMARK_REGISTER_F(PaillierFixture, Decrypt)->Arg(512)->Arg(1024)->Arg(2048);
+
+BENCHMARK_DEFINE_F(PaillierFixture, ScalarMulSmall)(benchmark::State& state) {
+  // The cPIR server kernel: exponent = small data value.
+  crypto::Prg prg("scalar");
+  const BigInt c = sk_->public_key().encrypt(BigInt(7), prg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sk_->public_key().mul_scalar(c, BigInt(999983)));
+  }
+}
+BENCHMARK_REGISTER_F(PaillierFixture, ScalarMulSmall)->Arg(512)->Arg(1024);
+
+BENCHMARK_DEFINE_F(PaillierFixture, AddCiphertexts)(benchmark::State& state) {
+  crypto::Prg prg("addct");
+  const BigInt a = sk_->public_key().encrypt(BigInt(1), prg);
+  const BigInt b = sk_->public_key().encrypt(BigInt(2), prg);
+  for (auto _ : state) benchmark::DoNotOptimize(sk_->public_key().add(a, b));
+}
+BENCHMARK_REGISTER_F(PaillierFixture, AddCiphertexts)->Arg(512)->Arg(1024);
+
+void BM_GoldwasserMicaliEncrypt(benchmark::State& state) {
+  crypto::Prg prg("bm-gm");
+  const he::GmPrivateKey sk = he::gm_keygen(prg, 512);
+  for (auto _ : state) benchmark::DoNotOptimize(sk.public_key().encrypt(true, prg));
+}
+BENCHMARK(BM_GoldwasserMicaliEncrypt);
+
+// --- garbling / OT ----------------------------------------------------------------
+
+void BM_GarbleAddMod(benchmark::State& state) {
+  const std::size_t width = static_cast<std::size_t>(state.range(0));
+  circuits::BooleanCircuit c(2 * width);
+  circuits::WireBundle a, b;
+  for (std::size_t i = 0; i < width; ++i) a.push_back(c.input(i));
+  for (std::size_t i = 0; i < width; ++i) b.push_back(c.input(width + i));
+  c.add_outputs(circuits::build_add_mod(c, a, b));
+  crypto::Prg prg("bm-garble");
+  for (auto _ : state) benchmark::DoNotOptimize(mpc::garble(c, prg));
+  state.counters["nonfree_gates"] =
+      benchmark::Counter(static_cast<double>(c.nonfree_gate_count()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(c.size()));
+}
+BENCHMARK(BM_GarbleAddMod)->Arg(32)->Arg(256);
+
+void BM_EvaluateGarbled(benchmark::State& state) {
+  const std::size_t width = static_cast<std::size_t>(state.range(0));
+  circuits::BooleanCircuit c(2 * width);
+  circuits::WireBundle a, b;
+  for (std::size_t i = 0; i < width; ++i) a.push_back(c.input(i));
+  for (std::size_t i = 0; i < width; ++i) b.push_back(c.input(width + i));
+  c.add_outputs(circuits::build_add_mod(c, a, b));
+  crypto::Prg prg("bm-eval");
+  const mpc::GarblingResult g = mpc::garble(c, prg);
+  std::vector<mpc::Label> active;
+  for (std::size_t i = 0; i < 2 * width; ++i) active.push_back(g.input_labels[i].get(i % 2));
+  for (auto _ : state) benchmark::DoNotOptimize(mpc::evaluate(c, g.garbled, active));
+}
+BENCHMARK(BM_EvaluateGarbled)->Arg(32)->Arg(256);
+
+void BM_BaseOtPerTransfer(benchmark::State& state) {
+  const ot::SchnorrGroup group = ot::SchnorrGroup::rfc_like_512();
+  const ot::BaseOt ot(group);
+  crypto::Prg prg("bm-base-ot");
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  const std::vector<bool> choices(batch, true);
+  std::vector<std::pair<Bytes, Bytes>> msgs(batch, {Bytes(16, 1), Bytes(16, 2)});
+  for (auto _ : state) {
+    std::vector<ot::OtReceiverState> states;
+    const Bytes q = ot.make_query(choices, states, prg);
+    const Bytes a = ot.answer(q, msgs, prg);
+    benchmark::DoNotOptimize(ot.decode(a, states));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_BaseOtPerTransfer)->Arg(8);
+
+void BM_OtExtensionPerTransfer(benchmark::State& state) {
+  const ot::SchnorrGroup group = ot::SchnorrGroup::rfc_like_512();
+  crypto::Prg sprg("bm-ext-s"), rprg("bm-ext-r");
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  const std::vector<bool> choices(batch, true);
+  std::vector<std::pair<Bytes, Bytes>> msgs(batch, {Bytes(16, 1), Bytes(16, 2)});
+  for (auto _ : state) {
+    ot::OtExtensionSender sender(group);
+    ot::OtExtensionReceiver receiver(group, choices);
+    const Bytes m3 = sender.answer(receiver.respond(sender.start(sprg), rprg), msgs);
+    benchmark::DoNotOptimize(receiver.finish(m3));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_OtExtensionPerTransfer)->Arg(1024)->Arg(8192);
+
+}  // namespace
+
+BENCHMARK_MAIN();

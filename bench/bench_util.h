@@ -1,0 +1,94 @@
+// Shared helpers for the experiment-reproduction benches.
+//
+// Each bench binary regenerates one experiment row set from DESIGN.md's
+// experiment index (EXPERIMENTS.md records the measured output). Protocol
+// benches print fixed-width tables: communication is measured exactly by
+// net::StarNetwork, wall time by steady_clock around the in-process run.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+
+namespace spfe::bench {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline std::string human_bytes(std::uint64_t b) {
+  char buf[32];
+  if (b < 10 * 1024) {
+    std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(b));
+  } else if (b < 10 * 1024 * 1024) {
+    std::snprintf(buf, sizeof buf, "%.1f KiB", static_cast<double>(b) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f MiB", static_cast<double>(b) / (1024.0 * 1024.0));
+  }
+  return buf;
+}
+
+struct Row {
+  std::vector<std::string> cells;
+};
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add(std::vector<std::string> cells) { rows_.push_back({std::move(cells)}); }
+
+  void print() const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const Row& r : rows_) {
+      for (std::size_t c = 0; c < r.cells.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], r.cells[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      std::printf("|");
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        const std::string& v = c < cells.size() ? cells[c] : std::string();
+        std::printf(" %-*s |", static_cast<int>(widths[c]), v.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(header_);
+    std::printf("|");
+    for (const std::size_t w : widths) std::printf("%s|", std::string(w + 2, '-').c_str());
+    std::printf("\n");
+    for (const Row& r : rows_) print_row(r.cells);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+inline std::string fmt(const char* f, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, f, v);
+  return buf;
+}
+
+inline std::string fmt_u(std::uint64_t v) { return std::to_string(v); }
+
+inline std::string rounds_str(const net::CommStats& s) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%.1f", s.rounds());
+  return buf;
+}
+
+}  // namespace spfe::bench

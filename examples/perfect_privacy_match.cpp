@@ -1,0 +1,58 @@
+// Unconditionally secure keyword match — the strongest security point in
+// the paper's design space (Corollary 4(2) with a perfectly secure PSM).
+//
+// A client checks whether a secretly selected record carries a given flag
+// value, across k replicated servers, with *information-theoretic* security
+// on both sides: no cryptographic assumptions at all. The PSM layer is the
+// branching-program randomized encoding (det(L*M(x)*R) over GF(2)); the
+// retrieval layer is t-private instance-hiding SPIR.
+//
+// Build & run:  ./examples/perfect_privacy_match
+#include <cstdio>
+
+#include "circuits/branching_program.h"
+#include "dbgen/census.h"
+#include "field/fp64.h"
+#include "net/network.h"
+#include "spfe/psm_spfe.h"
+
+int main() {
+  using namespace spfe;
+
+  // Server-side data: the age-bracket column (3 bits) of a census database.
+  crypto::Prg data_prg("census-perfect");
+  dbgen::CensusOptions options;
+  options.num_records = 2048;
+  const dbgen::CensusDatabase census = dbgen::generate_census(options, data_prg);
+  std::vector<std::uint64_t> brackets;
+  for (const auto& r : census.records) brackets.push_back(r.age_bracket);
+
+  // f(x_i) = (x_i == 6): "is this (secret) person in their 70s?"
+  constexpr std::uint64_t kBracket = 6;
+  constexpr std::size_t kBits = 3;
+  const auto bp = circuits::BranchingProgram::equals_constant(kBits, kBracket);
+
+  constexpr std::size_t kThreshold = 2;  // privacy vs any 2 colluding servers
+  const field::Fp64 field(field::Fp64::kMersenne61);
+  const std::size_t k = pir::PolyItPir::min_servers(brackets.size(), kThreshold);
+  const protocols::PsmBpSpfeMultiServer protocol(field, bp, brackets.size(), k, kThreshold);
+
+  crypto::Prg client_prg("perfect-client"), server_prg("perfect-server");
+  const std::size_t secret_index = 1234;
+
+  net::StarNetwork net(k);
+  const bool match =
+      protocol.run(net, brackets, {secret_index}, client_prg, server_prg);
+
+  std::printf("servers              : %zu (t = %zu colluding tolerated)\n", k, kThreshold);
+  std::printf("secret record        : #%zu (bracket %llu)\n", secret_index,
+              static_cast<unsigned long long>(brackets[secret_index]));
+  std::printf("private match result : %s   (plaintext %s)\n", match ? "yes" : "no",
+              brackets[secret_index] == kBracket ? "yes" : "no");
+  std::printf("rounds               : %.1f\n", net.stats().rounds());
+  std::printf("total communication  : %llu bytes\n",
+              static_cast<unsigned long long>(net.stats().total_bytes()));
+  std::printf("security             : information-theoretic on BOTH sides —\n"
+              "                       no computational assumptions anywhere\n");
+  return match == (brackets[secret_index] == kBracket) ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+// Private threshold audit — a non-linear statistic via the two-phase
+// construction (§3.3 input selection + Yao function evaluation).
+//
+// An auditor counts how many records in a secretly selected sample exceed a
+// salary threshold. Counting-above-threshold is not a linear function, so
+// the one-round §4 protocols do not apply; instead the items are first
+// additively shared (§3.3.2 variant 1, one round) and a garbled circuit
+// (reconstruct -> compare -> popcount) computes the answer (one more round).
+//
+// Build & run:  ./examples/private_threshold_audit
+#include <cstdio>
+
+#include "circuits/boolean_circuit.h"
+#include "dbgen/census.h"
+#include "he/paillier.h"
+#include "net/network.h"
+#include "ot/group.h"
+#include "spfe/two_phase.h"
+
+int main() {
+  using namespace spfe;
+
+  crypto::Prg data_prg("census-audit");
+  dbgen::CensusOptions options;
+  options.num_records = 512;
+  options.max_salary = 150'000;
+  const dbgen::CensusDatabase census = dbgen::generate_census(options, data_prg);
+  const std::vector<std::uint64_t> salaries = census.private_column();
+
+  constexpr std::size_t kM = 6;
+  constexpr std::size_t kItemBits = 18;  // salaries < 2^18 ... they're < 150001 < 2^18
+  constexpr std::uint64_t kThreshold = 100'000;
+  const auto sample = census.select_sample(
+      [](const dbgen::CensusRecord& r) { return r.zip_code < 10; }, kM);
+
+  crypto::Prg client_prg("audit-client");
+  crypto::Prg server_prg("audit-server");
+  const he::PaillierPrivateKey client_key = he::paillier_keygen(client_prg, 768);
+  const he::PaillierPrivateKey server_key = he::paillier_keygen(server_prg, 768);
+  const ot::SchnorrGroup group = ot::SchnorrGroup::rfc_like_512();
+
+  // Function body: one comparator per item, then a popcount.
+  const auto body = [&](circuits::BooleanCircuit& c,
+                        const std::vector<circuits::WireBundle>& items) {
+    circuits::WireBundle threshold_bits;
+    for (std::size_t i = 0; i < kItemBits; ++i) {
+      threshold_bits.push_back(c.const_wire(((kThreshold >> i) & 1) != 0));
+    }
+    std::vector<circuits::WireId> above;
+    for (const auto& item : items) {
+      above.push_back(circuits::build_less_than(c, threshold_bits, item));  // thr < item
+    }
+    c.add_outputs(circuits::build_popcount(c, above));
+  };
+
+  net::StarNetwork net(1);
+  const std::vector<bool> out = protocols::run_two_phase_boolean(
+      net, 0, salaries, sample, kItemBits, protocols::SelectionMethod::kPolyMaskClientKey, body,
+      client_key, server_key, group, /*pir_depth=*/2, client_prg, server_prg);
+
+  std::uint64_t count = 0;
+  for (std::size_t b = 0; b < out.size(); ++b) {
+    if (out[b]) count |= std::uint64_t(1) << b;
+  }
+  std::uint64_t expected = 0;
+  for (const std::size_t i : sample) expected += salaries[i] > kThreshold ? 1 : 0;
+
+  std::printf("sample size        : %zu records\n", kM);
+  std::printf("threshold          : %llu\n", static_cast<unsigned long long>(kThreshold));
+  std::printf("private count      : %llu   (plaintext %llu)\n",
+              static_cast<unsigned long long>(count),
+              static_cast<unsigned long long>(expected));
+  std::printf("rounds             : %.1f (selection + Yao)\n", net.stats().rounds());
+  std::printf("communication      : %llu bytes\n",
+              static_cast<unsigned long long>(net.stats().total_bytes()));
+  return count == expected ? 0 : 1;
+}

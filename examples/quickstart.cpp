@@ -1,0 +1,59 @@
+// Quickstart: the 1-round private weighted-sum protocol (§4).
+//
+// A client privately computes a weighted sum of selected database entries:
+// the server never learns which entries were selected, and the client
+// learns only the weighted sum (weak security — any client strategy yields
+// at most one linear combination of m items).
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+
+#include "crypto/prg.h"
+#include "field/fp64.h"
+#include "he/paillier.h"
+#include "net/network.h"
+#include "spfe/stats.h"
+
+int main() {
+  using namespace spfe;
+
+  // --- Setup -----------------------------------------------------------------
+  // The server's private database (e.g. per-record salaries).
+  std::vector<std::uint64_t> database(1024);
+  for (std::size_t i = 0; i < database.size(); ++i) database[i] = 30'000 + (i * 173) % 90'000;
+
+  // The client's secret selection and weights.
+  const std::vector<std::size_t> indices = {12, 345, 678, 901};
+  const std::vector<std::uint64_t> weights = {1, 1, 1, 1};  // plain sum
+
+  // A prime field large enough for the database size and the maximal sum.
+  const field::Fp64 field(field::smallest_prime_above(4 * 120'000ull + 1024));
+
+  // Client-side Paillier key (512-bit modulus) and deterministic RNGs.
+  crypto::Prg client_prg("quickstart-client");
+  crypto::Prg server_prg("quickstart-server");
+  const he::PaillierPrivateKey client_key = he::paillier_keygen(client_prg, 512);
+
+  // --- Run the one-round protocol ---------------------------------------------
+  const protocols::WeightedSumProtocol protocol(field, database.size(), indices.size(),
+                                           /*pir_depth=*/2);
+  net::StarNetwork net(1);
+  const std::uint64_t result = protocol.run(net, 0, database, indices, weights, client_key,
+                                            client_prg, server_prg);
+
+  // --- Report -----------------------------------------------------------------
+  std::uint64_t expected = 0;
+  for (std::size_t j = 0; j < indices.size(); ++j) expected += weights[j] * database[indices[j]];
+
+  std::printf("private weighted sum : %llu\n", static_cast<unsigned long long>(result));
+  std::printf("plaintext check      : %llu (%s)\n",
+              static_cast<unsigned long long>(expected),
+              result == expected ? "match" : "MISMATCH");
+  std::printf("rounds               : %.1f\n", net.stats().rounds());
+  std::printf("client -> server     : %llu bytes\n",
+              static_cast<unsigned long long>(net.stats().client_to_server_bytes));
+  std::printf("server -> client     : %llu bytes\n",
+              static_cast<unsigned long long>(net.stats().server_to_client_bytes));
+  std::printf("database size        : %zu items (never transferred)\n", database.size());
+  return result == expected ? 0 : 1;
+}

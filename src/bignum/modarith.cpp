@@ -1,0 +1,247 @@
+#include "bignum/modarith.h"
+
+#include <array>
+
+#include "common/error.h"
+
+namespace spfe::bignum {
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+}  // namespace
+
+BigInt gcd(const BigInt& a, const BigInt& b) {
+  BigInt x = a.abs();
+  BigInt y = b.abs();
+  while (!y.is_zero()) {
+    BigInt r = x % y;
+    x = std::move(y);
+    y = std::move(r);
+  }
+  return x;
+}
+
+ExtGcdResult ext_gcd(const BigInt& a, const BigInt& b) {
+  BigInt old_r = a, r = b;
+  BigInt old_x = 1, x = 0;
+  BigInt old_y = 0, y = 1;
+  while (!r.is_zero()) {
+    BigInt q, rem;
+    BigInt::divmod(old_r, r, q, rem);
+    old_r = std::move(r);
+    r = std::move(rem);
+    BigInt nx = old_x - q * x;
+    old_x = std::move(x);
+    x = std::move(nx);
+    BigInt ny = old_y - q * y;
+    old_y = std::move(y);
+    y = std::move(ny);
+  }
+  if (old_r.is_negative()) {
+    old_r = -old_r;
+    old_x = -old_x;
+    old_y = -old_y;
+  }
+  return {std::move(old_r), std::move(old_x), std::move(old_y)};
+}
+
+BigInt mod_inverse(const BigInt& a, const BigInt& m) {
+  if (m <= BigInt(1)) throw InvalidArgument("mod_inverse: modulus must exceed 1");
+  const ExtGcdResult e = ext_gcd(a.mod_floor(m), m);
+  if (!e.g.is_one()) throw CryptoError("mod_inverse: value not invertible");
+  return e.x.mod_floor(m);
+}
+
+BigInt mod_add(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return (a + b).mod_floor(m);
+}
+
+BigInt mod_sub(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return (a - b).mod_floor(m);
+}
+
+BigInt mod_mul(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return (a * b).mod_floor(m);
+}
+
+BigInt mod_pow(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  if (m.is_zero() || m.is_negative()) throw InvalidArgument("mod_pow: modulus must be positive");
+  if (exp.is_negative()) throw InvalidArgument("mod_pow: negative exponent");
+  if (m.is_one()) return BigInt();
+  if (m.is_odd()) return MontgomeryContext(m).pow(base, exp);
+  // Even modulus: plain left-to-right square-and-multiply.
+  BigInt result(1);
+  BigInt b = base.mod_floor(m);
+  for (std::size_t i = exp.bit_length(); i-- > 0;) {
+    result = mod_mul(result, result, m);
+    if (exp.bit(i)) result = mod_mul(result, b, m);
+  }
+  return result;
+}
+
+int jacobi(const BigInt& a_in, const BigInt& n_in) {
+  if (n_in.is_negative() || !n_in.is_odd()) {
+    throw InvalidArgument("jacobi: n must be odd and positive");
+  }
+  BigInt a = a_in.mod_floor(n_in);
+  BigInt n = n_in;
+  int result = 1;
+  while (!a.is_zero()) {
+    while (!a.is_odd()) {
+      a = a >> 1;
+      const u64 n_mod_8 = n.low_u64() & 7;
+      if (n_mod_8 == 3 || n_mod_8 == 5) result = -result;
+    }
+    std::swap(a, n);
+    if ((a.low_u64() & 3) == 3 && (n.low_u64() & 3) == 3) result = -result;
+    a = a.mod_floor(n);
+  }
+  return n.is_one() ? result : 0;
+}
+
+BigInt crt_combine(const BigInt& r1, const BigInt& m1, const BigInt& r2, const BigInt& m2) {
+  // x = r1 + m1 * ((r2 - r1) * m1^{-1} mod m2)
+  const BigInt m1_inv = mod_inverse(m1, m2);
+  const BigInt t = mod_mul(mod_sub(r2, r1, m2), m1_inv, m2);
+  return (r1 + m1 * t).mod_floor(m1 * m2);
+}
+
+MontgomeryContext::MontgomeryContext(const BigInt& modulus) : modulus_(modulus) {
+  if (!modulus.is_odd() || modulus.is_negative() || modulus.is_one() || modulus.is_zero()) {
+    throw InvalidArgument("MontgomeryContext: modulus must be odd and > 1");
+  }
+  n_ = modulus.limbs();
+  // n0_inv = -n^{-1} mod 2^64 via Newton iteration (works for odd n).
+  const u64 n0 = n_[0];
+  u64 inv = n0;  // 3-bit correct start
+  for (int i = 0; i < 6; ++i) inv *= 2 - n0 * inv;
+  n0_inv_ = ~inv + 1;  // negate mod 2^64
+
+  const std::size_t k = n_.size();
+  // R^2 mod n where R = 2^(64k).
+  const BigInt r2 = (BigInt(1) << (128 * k)).mod_floor(modulus);
+  r2_ = r2.limbs();
+  r2_.resize(k, 0);
+  const BigInt one_m = (BigInt(1) << (64 * k)).mod_floor(modulus);
+  one_ = one_m.limbs();
+  one_.resize(k, 0);
+}
+
+// CIOS Montgomery multiplication: returns REDC(a * b) with a, b of size k.
+std::vector<u64> MontgomeryContext::mont_mul(const std::vector<u64>& a,
+                                             const std::vector<u64>& b) const {
+  const std::size_t k = n_.size();
+  std::vector<u64> t(k + 2, 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    // t += a[i] * b
+    u64 carry = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const u128 s = static_cast<u128>(a[i]) * b[j] + t[j] + carry;
+      t[j] = static_cast<u64>(s);
+      carry = static_cast<u64>(s >> 64);
+    }
+    u128 s = static_cast<u128>(t[k]) + carry;
+    t[k] = static_cast<u64>(s);
+    t[k + 1] = static_cast<u64>(s >> 64);
+
+    // m = t[0] * n0_inv mod 2^64; t += m * n; t >>= 64
+    const u64 m = t[0] * n0_inv_;
+    carry = 0;
+    {
+      const u128 s0 = static_cast<u128>(m) * n_[0] + t[0];
+      carry = static_cast<u64>(s0 >> 64);
+    }
+    for (std::size_t j = 1; j < k; ++j) {
+      const u128 sj = static_cast<u128>(m) * n_[j] + t[j] + carry;
+      t[j - 1] = static_cast<u64>(sj);
+      carry = static_cast<u64>(sj >> 64);
+    }
+    s = static_cast<u128>(t[k]) + carry;
+    t[k - 1] = static_cast<u64>(s);
+    t[k] = t[k + 1] + static_cast<u64>(s >> 64);
+    t[k + 1] = 0;
+  }
+  t.resize(k + 1);
+  // Conditional subtraction of n.
+  bool ge = t[k] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = k; i-- > 0;) {
+      if (t[i] != n_[i]) {
+        ge = t[i] > n_[i];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    u64 borrow = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const u128 d = static_cast<u128>(t[i]) - n_[i] - borrow;
+      t[i] = static_cast<u64>(d);
+      borrow = (d >> 64) != 0 ? 1 : 0;
+    }
+  }
+  t.resize(k);
+  return t;
+}
+
+std::vector<u64> MontgomeryContext::to_mont(const BigInt& a) const {
+  std::vector<u64> al = a.mod_floor(modulus_).limbs();
+  al.resize(n_.size(), 0);
+  return mont_mul(al, r2_);
+}
+
+BigInt MontgomeryContext::from_mont(const std::vector<u64>& a) const {
+  std::vector<u64> one(n_.size(), 0);
+  one[0] = 1;
+  const std::vector<u64> res = mont_mul(a, one);
+  BigInt out;
+  // Reconstruct via bytes to reuse normalization.
+  Bytes be(res.size() * 8);
+  for (std::size_t i = 0; i < res.size(); ++i) {
+    for (int b = 0; b < 8; ++b) {
+      be[be.size() - 1 - (8 * i + b)] = static_cast<std::uint8_t>(res[i] >> (8 * b));
+    }
+  }
+  return BigInt::from_bytes_be(be);
+}
+
+BigInt MontgomeryContext::pow(const BigInt& base, const BigInt& exp) const {
+  if (exp.is_negative()) throw InvalidArgument("MontgomeryContext::pow: negative exponent");
+  if (exp.is_zero()) return BigInt(1).mod_floor(modulus_);
+
+  const std::vector<u64> b = to_mont(base);
+  // 4-bit fixed window: precompute b^0..b^15 in Montgomery form.
+  std::array<std::vector<u64>, 16> table;
+  table[0] = one_;
+  table[1] = b;
+  for (int i = 2; i < 16; ++i) table[i] = mont_mul(table[i - 1], b);
+
+  const std::size_t bits = exp.bit_length();
+  const std::size_t windows = (bits + 3) / 4;
+  std::vector<u64> acc = one_;
+  bool started = false;
+  for (std::size_t w = windows; w-- > 0;) {
+    unsigned digit = 0;
+    for (int i = 3; i >= 0; --i) {
+      digit = (digit << 1) | (exp.bit(4 * w + static_cast<std::size_t>(i)) ? 1u : 0u);
+    }
+    if (started) {
+      acc = mont_mul(acc, acc);
+      acc = mont_mul(acc, acc);
+      acc = mont_mul(acc, acc);
+      acc = mont_mul(acc, acc);
+    }
+    if (digit != 0) {
+      acc = started ? mont_mul(acc, table[digit]) : table[digit];
+      started = true;
+    } else if (!started) {
+      continue;  // skip leading zero windows
+    }
+  }
+  return from_mont(acc);
+}
+
+}  // namespace spfe::bignum

@@ -1,0 +1,69 @@
+// Modular arithmetic over BigInt: gcd, inverses, Jacobi symbol, and
+// Montgomery-accelerated modular exponentiation.
+//
+// `MontgomeryContext` caches per-modulus constants so repeated modexps with
+// the same modulus (the hot path in Paillier and OT) avoid per-call setup.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bignum/bigint.h"
+
+namespace spfe::bignum {
+
+BigInt gcd(const BigInt& a, const BigInt& b);
+
+// Returns (g, x, y) with a*x + b*y = g = gcd(a, b).
+struct ExtGcdResult {
+  BigInt g;
+  BigInt x;
+  BigInt y;
+};
+ExtGcdResult ext_gcd(const BigInt& a, const BigInt& b);
+
+// Inverse of a modulo m (m > 1); throws CryptoError if gcd(a, m) != 1.
+BigInt mod_inverse(const BigInt& a, const BigInt& m);
+
+// (a + b) mod m, (a - b) mod m, (a * b) mod m with results in [0, m).
+BigInt mod_add(const BigInt& a, const BigInt& b, const BigInt& m);
+BigInt mod_sub(const BigInt& a, const BigInt& b, const BigInt& m);
+BigInt mod_mul(const BigInt& a, const BigInt& b, const BigInt& m);
+
+// base^exp mod m for exp >= 0, m > 0. Uses Montgomery for odd m, plain
+// square-and-multiply otherwise.
+BigInt mod_pow(const BigInt& base, const BigInt& exp, const BigInt& m);
+
+// Jacobi symbol (a/n) for odd positive n; returns -1, 0, or 1.
+int jacobi(const BigInt& a, const BigInt& n);
+
+// Solves x = r1 (mod m1), x = r2 (mod m2) for coprime m1, m2;
+// returns x in [0, m1*m2).
+BigInt crt_combine(const BigInt& r1, const BigInt& m1, const BigInt& r2, const BigInt& m2);
+
+// Montgomery multiplication context for a fixed odd modulus.
+class MontgomeryContext {
+ public:
+  explicit MontgomeryContext(const BigInt& modulus);
+
+  const BigInt& modulus() const { return modulus_; }
+
+  // base^exp mod modulus via 4-bit fixed-window exponentiation.
+  BigInt pow(const BigInt& base, const BigInt& exp) const;
+
+  // Montgomery-domain primitives (exposed for benchmarking the ablation
+  // against divmod-based reduction).
+  std::vector<std::uint64_t> to_mont(const BigInt& a) const;
+  BigInt from_mont(const std::vector<std::uint64_t>& a) const;
+  std::vector<std::uint64_t> mont_mul(const std::vector<std::uint64_t>& a,
+                                      const std::vector<std::uint64_t>& b) const;
+
+ private:
+  BigInt modulus_;
+  std::vector<std::uint64_t> n_;       // modulus limbs
+  std::uint64_t n0_inv_;               // -n^{-1} mod 2^64
+  std::vector<std::uint64_t> r2_;      // R^2 mod n (Montgomery form of R)
+  std::vector<std::uint64_t> one_;     // Montgomery form of 1 (R mod n)
+};
+
+}  // namespace spfe::bignum

@@ -1,0 +1,23 @@
+#include "bignum/serialize.h"
+
+#include "common/error.h"
+
+namespace spfe::bignum {
+
+void write_bigint(Writer& w, const BigInt& v) {
+  w.u8(v.is_negative() ? 1 : 0);
+  w.bytes(v.to_bytes_be());
+}
+
+BigInt read_bigint(Reader& r) {
+  const std::uint8_t sign = r.u8();
+  if (sign > 1) throw SerializationError("read_bigint: bad sign byte");
+  BigInt v = BigInt::from_bytes_be(r.bytes());
+  if (sign == 1) {
+    if (v.is_zero()) throw SerializationError("read_bigint: negative zero");
+    v = -v;
+  }
+  return v;
+}
+
+}  // namespace spfe::bignum

@@ -1,0 +1,12 @@
+// Wire encoding for BigInt values: varint length + sign byte + magnitude.
+#pragma once
+
+#include "bignum/bigint.h"
+#include "common/serialize.h"
+
+namespace spfe::bignum {
+
+void write_bigint(Writer& w, const BigInt& v);
+BigInt read_bigint(Reader& r);
+
+}  // namespace spfe::bignum

@@ -1,0 +1,202 @@
+#include "circuits/arith_circuit.h"
+
+#include <algorithm>
+
+namespace spfe::circuits {
+namespace {
+
+std::uint64_t mod_reduce(unsigned __int128 v, std::uint64_t u) {
+  return static_cast<std::uint64_t>(v % u);
+}
+
+}  // namespace
+
+ArithCircuit::ArithCircuit(std::size_t num_inputs, std::uint64_t modulus)
+    : num_inputs_(num_inputs), modulus_(modulus) {
+  if (modulus < 2) throw InvalidArgument("ArithCircuit: modulus must be >= 2");
+}
+
+std::uint32_t ArithCircuit::input(std::size_t i) const {
+  if (i >= num_inputs_) throw InvalidArgument("ArithCircuit: input index out of range");
+  return static_cast<std::uint32_t>(i);
+}
+
+void ArithCircuit::check_node(std::uint32_t n) const {
+  if (n >= num_inputs_ + gates_.size()) {
+    throw InvalidArgument("ArithCircuit: node does not exist yet");
+  }
+}
+
+std::uint32_t ArithCircuit::append(ArithGate g) {
+  gates_.push_back(g);
+  return static_cast<std::uint32_t>(num_inputs_ + gates_.size() - 1);
+}
+
+std::uint32_t ArithCircuit::constant(std::uint64_t value) {
+  return append({ArithOp::kConst, 0, 0, value % modulus_});
+}
+
+std::uint32_t ArithCircuit::add(std::uint32_t a, std::uint32_t b) {
+  check_node(a);
+  check_node(b);
+  return append({ArithOp::kAdd, a, b, 0});
+}
+
+std::uint32_t ArithCircuit::sub(std::uint32_t a, std::uint32_t b) {
+  check_node(a);
+  check_node(b);
+  return append({ArithOp::kSub, a, b, 0});
+}
+
+std::uint32_t ArithCircuit::mul(std::uint32_t a, std::uint32_t b) {
+  check_node(a);
+  check_node(b);
+  return append({ArithOp::kMul, a, b, 0});
+}
+
+std::uint32_t ArithCircuit::mul_const(std::uint32_t a, std::uint64_t c) {
+  check_node(a);
+  return append({ArithOp::kMulConst, a, 0, c % modulus_});
+}
+
+void ArithCircuit::add_output(std::uint32_t node) {
+  check_node(node);
+  outputs_.push_back(node);
+}
+
+std::size_t ArithCircuit::mul_gate_count() const {
+  std::size_t n = 0;
+  for (const auto& g : gates_) {
+    if (g.op == ArithOp::kMul) ++n;
+  }
+  return n;
+}
+
+std::size_t ArithCircuit::mult_depth() const {
+  std::vector<std::size_t> depth(num_inputs_ + gates_.size(), 0);
+  std::size_t max_depth = 0;
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const auto& g = gates_[i];
+    const std::size_t id = num_inputs_ + i;
+    switch (g.op) {
+      case ArithOp::kInput:
+      case ArithOp::kConst:
+        depth[id] = 0;
+        break;
+      case ArithOp::kAdd:
+      case ArithOp::kSub:
+        depth[id] = std::max(depth[g.a], depth[g.b]);
+        break;
+      case ArithOp::kMulConst:
+        depth[id] = depth[g.a];
+        break;
+      case ArithOp::kMul:
+        depth[id] = std::max(depth[g.a], depth[g.b]) + 1;
+        break;
+    }
+    max_depth = std::max(max_depth, depth[id]);
+  }
+  return max_depth;
+}
+
+std::vector<std::uint64_t> ArithCircuit::eval(const std::vector<std::uint64_t>& inputs) const {
+  if (inputs.size() != num_inputs_) throw InvalidArgument("ArithCircuit::eval: wrong input count");
+  std::vector<std::uint64_t> values(num_inputs_ + gates_.size());
+  for (std::size_t i = 0; i < num_inputs_; ++i) values[i] = inputs[i] % modulus_;
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const auto& g = gates_[i];
+    const std::size_t id = num_inputs_ + i;
+    switch (g.op) {
+      case ArithOp::kInput:
+        throw InvalidArgument("ArithCircuit::eval: stray input gate");
+      case ArithOp::kConst:
+        values[id] = g.constant;
+        break;
+      case ArithOp::kAdd:
+        values[id] = mod_reduce(static_cast<unsigned __int128>(values[g.a]) + values[g.b],
+                                modulus_);
+        break;
+      case ArithOp::kSub:
+        values[id] = mod_reduce(
+            static_cast<unsigned __int128>(values[g.a]) + modulus_ - values[g.b], modulus_);
+        break;
+      case ArithOp::kMul:
+        values[id] = mod_reduce(static_cast<unsigned __int128>(values[g.a]) * values[g.b],
+                                modulus_);
+        break;
+      case ArithOp::kMulConst:
+        values[id] = mod_reduce(static_cast<unsigned __int128>(values[g.a]) * g.constant,
+                                modulus_);
+        break;
+    }
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(outputs_.size());
+  for (const std::uint32_t o : outputs_) out.push_back(values[o]);
+  return out;
+}
+
+ArithCircuit ArithCircuit::sum(std::size_t m, std::uint64_t modulus) {
+  if (m == 0) throw InvalidArgument("ArithCircuit::sum: m must be positive");
+  ArithCircuit c(m, modulus);
+  std::uint32_t acc = c.input(0);
+  for (std::size_t j = 1; j < m; ++j) acc = c.add(acc, c.input(j));
+  c.add_output(acc);
+  return c;
+}
+
+ArithCircuit ArithCircuit::weighted_sum(const std::vector<std::uint64_t>& weights,
+                                        std::uint64_t modulus) {
+  if (weights.empty()) throw InvalidArgument("ArithCircuit::weighted_sum: need weights");
+  ArithCircuit c(weights.size(), modulus);
+  std::uint32_t acc = c.mul_const(c.input(0), weights[0]);
+  for (std::size_t j = 1; j < weights.size(); ++j) {
+    acc = c.add(acc, c.mul_const(c.input(j), weights[j]));
+  }
+  c.add_output(acc);
+  return c;
+}
+
+ArithCircuit ArithCircuit::sum_and_sum_of_squares(std::size_t m, std::uint64_t modulus) {
+  if (m == 0) throw InvalidArgument("ArithCircuit::sum_and_sum_of_squares: m must be positive");
+  ArithCircuit c(m, modulus);
+  std::uint32_t sum = c.input(0);
+  std::uint32_t sq = c.mul(c.input(0), c.input(0));
+  for (std::size_t j = 1; j < m; ++j) {
+    sum = c.add(sum, c.input(j));
+    sq = c.add(sq, c.mul(c.input(j), c.input(j)));
+  }
+  c.add_output(sum);
+  c.add_output(sq);
+  return c;
+}
+
+ArithCircuit ArithCircuit::inner_product(std::size_t m, std::uint64_t modulus) {
+  if (m == 0) throw InvalidArgument("ArithCircuit::inner_product: m must be positive");
+  ArithCircuit c(2 * m, modulus);
+  std::uint32_t acc = c.mul(c.input(0), c.input(m));
+  for (std::size_t j = 1; j < m; ++j) {
+    acc = c.add(acc, c.mul(c.input(j), c.input(m + j)));
+  }
+  c.add_output(acc);
+  return c;
+}
+
+ArithCircuit ArithCircuit::sum_squared_deviation(std::size_t m, std::uint64_t keyword,
+                                                 std::uint64_t modulus) {
+  if (m == 0) throw InvalidArgument("ArithCircuit::sum_squared_deviation: m must be positive");
+  ArithCircuit c(m, modulus);
+  const std::uint32_t w = c.constant(keyword);
+  std::uint32_t acc = 0;
+  bool have_acc = false;
+  for (std::size_t j = 0; j < m; ++j) {
+    const std::uint32_t d = c.sub(c.input(j), w);
+    const std::uint32_t sq = c.mul(d, d);
+    acc = have_acc ? c.add(acc, sq) : sq;
+    have_acc = true;
+  }
+  c.add_output(acc);
+  return c;
+}
+
+}  // namespace spfe::circuits

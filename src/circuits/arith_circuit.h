@@ -1,0 +1,77 @@
+// Arithmetic circuits over Z_u — the representation the paper's §3.3.4
+// light-weight MPC protocol evaluates gate-by-gate on Paillier ciphertexts.
+//
+// Gate set matches §3.3.4 exactly: addition, multiplication by a constant
+// known to the server, and full multiplication (the only interactive gate).
+// `mult_depth()` gives the round complexity of the §3.3.4 protocol.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+
+namespace spfe::circuits {
+
+enum class ArithOp : std::uint8_t { kInput, kConst, kAdd, kSub, kMul, kMulConst };
+
+struct ArithGate {
+  ArithOp op;
+  std::uint32_t a = 0;        // gate/input index (for kInput: input slot)
+  std::uint32_t b = 0;        // second operand where applicable
+  std::uint64_t constant = 0; // for kConst / kMulConst
+};
+
+class ArithCircuit {
+ public:
+  // `modulus` is u, the ring Z_u the circuit computes over (u >= 2).
+  ArithCircuit(std::size_t num_inputs, std::uint64_t modulus);
+
+  std::uint64_t modulus() const { return modulus_; }
+  std::size_t num_inputs() const { return num_inputs_; }
+  const std::vector<ArithGate>& gates() const { return gates_; }
+  const std::vector<std::uint32_t>& outputs() const { return outputs_; }
+
+  // Node ids: 0..num_inputs-1 are inputs, then one id per gate.
+  std::uint32_t input(std::size_t i) const;
+  std::uint32_t constant(std::uint64_t value);
+  std::uint32_t add(std::uint32_t a, std::uint32_t b);
+  std::uint32_t sub(std::uint32_t a, std::uint32_t b);
+  std::uint32_t mul(std::uint32_t a, std::uint32_t b);
+  std::uint32_t mul_const(std::uint32_t a, std::uint64_t c);
+
+  void add_output(std::uint32_t node);
+
+  std::size_t size() const { return gates_.size(); }
+  std::size_t mul_gate_count() const;
+  // Multiplicative depth: rounds of the §3.3.4 protocol.
+  std::size_t mult_depth() const;
+
+  std::vector<std::uint64_t> eval(const std::vector<std::uint64_t>& inputs) const;
+
+  // --- Builders for the §4 statistics ---------------------------------------
+  // All take the number of selected items m and return a circuit whose m
+  // inputs are the selected data items.
+  static ArithCircuit sum(std::size_t m, std::uint64_t modulus);
+  static ArithCircuit weighted_sum(const std::vector<std::uint64_t>& weights,
+                                   std::uint64_t modulus);
+  // Outputs (sum, sum of squares): the §4 "package" from which the client
+  // derives average and variance.
+  static ArithCircuit sum_and_sum_of_squares(std::size_t m, std::uint64_t modulus);
+  static ArithCircuit inner_product(std::size_t m, std::uint64_t modulus);  // 2m inputs
+  // Evaluates sum_j (x_j - w)^2 for keyword w known at build time; used as a
+  // "distance to keyword" statistic.
+  static ArithCircuit sum_squared_deviation(std::size_t m, std::uint64_t keyword,
+                                            std::uint64_t modulus);
+
+ private:
+  std::uint32_t append(ArithGate g);
+  void check_node(std::uint32_t n) const;
+
+  std::size_t num_inputs_;
+  std::uint64_t modulus_;
+  std::vector<ArithGate> gates_;
+  std::vector<std::uint32_t> outputs_;
+};
+
+}  // namespace spfe::circuits

@@ -1,0 +1,289 @@
+#include "circuits/boolean_circuit.h"
+
+#include <algorithm>
+
+namespace spfe::circuits {
+
+BooleanCircuit::BooleanCircuit(std::size_t num_inputs) : num_inputs_(num_inputs) {}
+
+WireId BooleanCircuit::input(std::size_t i) const {
+  if (i >= num_inputs_) throw InvalidArgument("BooleanCircuit: input index out of range");
+  return static_cast<WireId>(i);
+}
+
+void BooleanCircuit::check_wire(WireId w) const {
+  if (w >= num_wires()) throw InvalidArgument("BooleanCircuit: wire does not exist yet");
+}
+
+WireId BooleanCircuit::append(GateKind kind, WireId a, WireId b) {
+  gates_.push_back({kind, a, b});
+  return static_cast<WireId>(num_wires() - 1);
+}
+
+WireId BooleanCircuit::xor_gate(WireId a, WireId b) {
+  check_wire(a);
+  check_wire(b);
+  return append(GateKind::kXor, a, b);
+}
+
+WireId BooleanCircuit::and_gate(WireId a, WireId b) {
+  check_wire(a);
+  check_wire(b);
+  return append(GateKind::kAnd, a, b);
+}
+
+WireId BooleanCircuit::or_gate(WireId a, WireId b) {
+  check_wire(a);
+  check_wire(b);
+  return append(GateKind::kOr, a, b);
+}
+
+WireId BooleanCircuit::not_gate(WireId a) {
+  check_wire(a);
+  return append(GateKind::kNot, a, 0);
+}
+
+WireId BooleanCircuit::const_wire(bool value) {
+  return append(value ? GateKind::kConstOne : GateKind::kConstZero, 0, 0);
+}
+
+void BooleanCircuit::add_output(WireId w) {
+  check_wire(w);
+  outputs_.push_back(w);
+}
+
+void BooleanCircuit::add_outputs(const WireBundle& ws) {
+  for (const WireId w : ws) add_output(w);
+}
+
+std::size_t BooleanCircuit::nonfree_gate_count() const {
+  std::size_t n = 0;
+  for (const Gate& g : gates_) {
+    if (g.kind == GateKind::kAnd || g.kind == GateKind::kOr) ++n;
+  }
+  return n;
+}
+
+std::vector<bool> BooleanCircuit::eval(const std::vector<bool>& inputs) const {
+  if (inputs.size() != num_inputs_) {
+    throw InvalidArgument("BooleanCircuit::eval: wrong input count");
+  }
+  std::vector<bool> values(num_wires());
+  for (std::size_t i = 0; i < num_inputs_; ++i) values[i] = inputs[i];
+  for (std::size_t g = 0; g < gates_.size(); ++g) {
+    const Gate& gate = gates_[g];
+    const std::size_t out = num_inputs_ + g;
+    switch (gate.kind) {
+      case GateKind::kXor:
+        values[out] = values[gate.a] != values[gate.b];
+        break;
+      case GateKind::kAnd:
+        values[out] = values[gate.a] && values[gate.b];
+        break;
+      case GateKind::kOr:
+        values[out] = values[gate.a] || values[gate.b];
+        break;
+      case GateKind::kNot:
+        values[out] = !values[gate.a];
+        break;
+      case GateKind::kConstZero:
+        values[out] = false;
+        break;
+      case GateKind::kConstOne:
+        values[out] = true;
+        break;
+    }
+  }
+  std::vector<bool> out;
+  out.reserve(outputs_.size());
+  for (const WireId w : outputs_) out.push_back(values[w]);
+  return out;
+}
+
+// --- Builders ---------------------------------------------------------------
+
+namespace {
+
+// Full adder: returns (sum, carry_out). Uses the XOR-heavy decomposition
+// carry = (a ^ cin)(b ^ cin) ^ cin, which costs one AND per bit.
+std::pair<WireId, WireId> full_adder(BooleanCircuit& c, WireId a, WireId b, WireId cin) {
+  const WireId axc = c.xor_gate(a, cin);
+  const WireId bxc = c.xor_gate(b, cin);
+  const WireId sum = c.xor_gate(a, bxc);
+  const WireId carry = c.xor_gate(c.and_gate(axc, bxc), cin);
+  return {sum, carry};
+}
+
+}  // namespace
+
+WireBundle build_add_mod(BooleanCircuit& c, const WireBundle& a, const WireBundle& b) {
+  if (a.size() != b.size() || a.empty()) {
+    throw InvalidArgument("build_add_mod: bundles must be nonempty and equal width");
+  }
+  WireBundle out;
+  out.reserve(a.size());
+  WireId carry = c.const_wire(false);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (i + 1 == a.size()) {
+      // Top bit: carry out is discarded, so skip the AND.
+      out.push_back(c.xor_gate(a[i], c.xor_gate(b[i], carry)));
+    } else {
+      auto [sum, cout] = full_adder(c, a[i], b[i], carry);
+      out.push_back(sum);
+      carry = cout;
+    }
+  }
+  return out;
+}
+
+WireBundle build_add(BooleanCircuit& c, const WireBundle& a, const WireBundle& b) {
+  if (a.empty() || b.empty()) throw InvalidArgument("build_add: empty bundle");
+  const std::size_t width = std::max(a.size(), b.size());
+  const WireBundle ax = zero_extend(c, a, width);
+  const WireBundle bx = zero_extend(c, b, width);
+  WireBundle out;
+  out.reserve(width + 1);
+  WireId carry = c.const_wire(false);
+  for (std::size_t i = 0; i < width; ++i) {
+    auto [sum, cout] = full_adder(c, ax[i], bx[i], carry);
+    out.push_back(sum);
+    carry = cout;
+  }
+  out.push_back(carry);
+  return out;
+}
+
+WireBundle build_sub_mod(BooleanCircuit& c, const WireBundle& a, const WireBundle& b) {
+  if (a.size() != b.size() || a.empty()) {
+    throw InvalidArgument("build_sub_mod: bundles must be nonempty and equal width");
+  }
+  // a - b = a + ~b + 1 (two's complement), dropping the final carry.
+  WireBundle not_b;
+  not_b.reserve(b.size());
+  for (const WireId w : b) not_b.push_back(c.not_gate(w));
+  WireBundle out;
+  out.reserve(a.size());
+  WireId carry = c.const_wire(true);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (i + 1 == a.size()) {
+      out.push_back(c.xor_gate(a[i], c.xor_gate(not_b[i], carry)));
+    } else {
+      const WireId axc = c.xor_gate(a[i], carry);
+      const WireId bxc = c.xor_gate(not_b[i], carry);
+      out.push_back(c.xor_gate(a[i], bxc));
+      carry = c.xor_gate(c.and_gate(axc, bxc), carry);
+    }
+  }
+  return out;
+}
+
+WireBundle build_add_mod_const(BooleanCircuit& c, const WireBundle& a, const WireBundle& b,
+                               std::uint64_t modulus) {
+  if (modulus < 2) throw InvalidArgument("build_add_mod_const: modulus must be >= 2");
+  // Full-width sum (width+1 bits), compare against the modulus constant,
+  // conditionally subtract.
+  WireBundle sum = build_add(c, a, b);
+  // Constant bundle for the modulus at sum width.
+  WireBundle mod_bundle;
+  mod_bundle.reserve(sum.size());
+  for (std::size_t i = 0; i < sum.size(); ++i) {
+    mod_bundle.push_back(c.const_wire(i < 64 && ((modulus >> i) & 1) != 0));
+  }
+  const WireId lt = build_less_than(c, sum, mod_bundle);
+  const WireBundle reduced = build_sub_mod(c, sum, mod_bundle);
+  WireBundle out = build_mux(c, lt, sum, reduced);
+  // Result < modulus fits in the original width.
+  out.resize(a.size());
+  return out;
+}
+
+WireId build_eq_const(BooleanCircuit& c, const WireBundle& a, std::uint64_t value) {
+  if (a.empty()) throw InvalidArgument("build_eq_const: empty bundle");
+  if (a.size() < 64 && (value >> a.size()) != 0) {
+    throw InvalidArgument("build_eq_const: constant wider than bundle");
+  }
+  // AND over per-bit match: bit if constant bit is 1, else NOT bit.
+  WireId acc = 0;
+  bool have_acc = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const bool bit = i < 64 && ((value >> i) & 1) != 0;
+    const WireId match = bit ? a[i] : c.not_gate(a[i]);
+    acc = have_acc ? c.and_gate(acc, match) : match;
+    have_acc = true;
+  }
+  return acc;
+}
+
+WireId build_eq(BooleanCircuit& c, const WireBundle& a, const WireBundle& b) {
+  if (a.size() != b.size() || a.empty()) {
+    throw InvalidArgument("build_eq: bundles must be nonempty and equal width");
+  }
+  WireId acc = 0;
+  bool have_acc = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const WireId match = c.not_gate(c.xor_gate(a[i], b[i]));
+    acc = have_acc ? c.and_gate(acc, match) : match;
+    have_acc = true;
+  }
+  return acc;
+}
+
+WireId build_less_than(BooleanCircuit& c, const WireBundle& a, const WireBundle& b) {
+  if (a.size() != b.size() || a.empty()) {
+    throw InvalidArgument("build_less_than: bundles must be nonempty and equal width");
+  }
+  // Scan LSB to MSB; at each position, a differing bit overrides the verdict
+  // so far: lt = (a_i != b_i) ? b_i : lt, i.e. lt ^= diff & (b_i ^ lt).
+  WireId lt = c.const_wire(false);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const WireId diff = c.xor_gate(a[i], b[i]);
+    lt = c.xor_gate(c.and_gate(diff, c.xor_gate(b[i], lt)), lt);
+  }
+  return lt;
+}
+
+WireBundle zero_extend(BooleanCircuit& c, const WireBundle& a, std::size_t width) {
+  if (a.size() > width) throw InvalidArgument("zero_extend: bundle already wider");
+  WireBundle out = a;
+  while (out.size() < width) out.push_back(c.const_wire(false));
+  return out;
+}
+
+WireBundle build_popcount(BooleanCircuit& c, const std::vector<WireId>& bits) {
+  if (bits.empty()) throw InvalidArgument("build_popcount: no bits");
+  // Pairwise adder tree over 1-bit bundles.
+  std::vector<WireBundle> layer;
+  layer.reserve(bits.size());
+  for (const WireId b : bits) layer.push_back(WireBundle{b});
+  return build_sum_tree(c, layer);
+}
+
+WireBundle build_sum_tree(BooleanCircuit& c, const std::vector<WireBundle>& items) {
+  if (items.empty()) throw InvalidArgument("build_sum_tree: no items");
+  std::vector<WireBundle> layer = items;
+  while (layer.size() > 1) {
+    std::vector<WireBundle> next;
+    next.reserve((layer.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(build_add(c, layer[i], layer[i + 1]));
+    }
+    if (layer.size() % 2 == 1) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  return layer[0];
+}
+
+WireBundle build_mux(BooleanCircuit& c, WireId sel, const WireBundle& a, const WireBundle& b) {
+  if (a.size() != b.size() || a.empty()) {
+    throw InvalidArgument("build_mux: bundles must be nonempty and equal width");
+  }
+  WireBundle out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // sel ? a : b  ==  b ^ (sel & (a ^ b))
+    out.push_back(c.xor_gate(b[i], c.and_gate(sel, c.xor_gate(a[i], b[i]))));
+  }
+  return out;
+}
+
+}  // namespace spfe::circuits

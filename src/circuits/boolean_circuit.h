@@ -1,0 +1,104 @@
+// Boolean circuits (DAGs) — the function representation consumed by Yao's
+// garbled-circuit protocol (src/mpc/yao) and by the computational PSM.
+//
+// Wire 0..num_inputs-1 are input wires; gates append new wires. XOR and NOT
+// are free under the free-XOR garbling optimization, so builders prefer
+// XOR-heavy decompositions; `and_gate_count()` is the cost metric that
+// matches the paper's O(kappa * C_f) communication term.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace spfe::circuits {
+
+using WireId = std::uint32_t;
+
+enum class GateKind : std::uint8_t { kXor, kAnd, kOr, kNot, kConstZero, kConstOne };
+
+struct Gate {
+  GateKind kind;
+  WireId a = 0;  // unused for constants
+  WireId b = 0;  // unused for NOT and constants
+};
+
+// A contiguous little-endian bundle of wires representing an integer.
+using WireBundle = std::vector<WireId>;
+
+class BooleanCircuit {
+ public:
+  explicit BooleanCircuit(std::size_t num_inputs);
+
+  std::size_t num_inputs() const { return num_inputs_; }
+  std::size_t num_wires() const { return num_inputs_ + gates_.size(); }
+  const std::vector<Gate>& gates() const { return gates_; }
+  const std::vector<WireId>& outputs() const { return outputs_; }
+
+  WireId input(std::size_t i) const;
+  WireId xor_gate(WireId a, WireId b);
+  WireId and_gate(WireId a, WireId b);
+  WireId or_gate(WireId a, WireId b);
+  WireId not_gate(WireId a);
+  WireId const_wire(bool value);
+
+  void add_output(WireId w);
+  void add_outputs(const WireBundle& ws);
+
+  // Gate-count metrics: total size and the garbling-relevant AND/OR count.
+  std::size_t size() const { return gates_.size(); }
+  std::size_t nonfree_gate_count() const;
+
+  std::vector<bool> eval(const std::vector<bool>& inputs) const;
+
+ private:
+  WireId append(GateKind kind, WireId a, WireId b);
+  void check_wire(WireId w) const;
+
+  std::size_t num_inputs_;
+  std::vector<Gate> gates_;
+  std::vector<WireId> outputs_;
+};
+
+// --- Builders used by the SPFE function-evaluation phase -------------------
+
+// a + b over `width` bits, result truncated to `width` bits (addition in
+// Z_{2^width}; exactly the share-reconstruction step of §3.3).
+WireBundle build_add_mod(BooleanCircuit& c, const WireBundle& a, const WireBundle& b);
+
+// a + b with full carry: result has max(|a|,|b|) + 1 bits.
+WireBundle build_add(BooleanCircuit& c, const WireBundle& a, const WireBundle& b);
+
+// a - b over equal widths, wrapping mod 2^width (two's complement).
+WireBundle build_sub_mod(BooleanCircuit& c, const WireBundle& a, const WireBundle& b);
+
+// (a + b) mod `modulus` where a, b < modulus: one adder, one comparison
+// against the constant, one conditional subtract. Used to reconstruct
+// prime-field additive shares inside Yao circuits.
+WireBundle build_add_mod_const(BooleanCircuit& c, const WireBundle& a, const WireBundle& b,
+                               std::uint64_t modulus);
+
+// Single wire: 1 iff bundle equals the given constant.
+WireId build_eq_const(BooleanCircuit& c, const WireBundle& a, std::uint64_t value);
+
+// Single wire: 1 iff a == b (bundles of equal width).
+WireId build_eq(BooleanCircuit& c, const WireBundle& a, const WireBundle& b);
+
+// Single wire: 1 iff a < b as unsigned integers (equal widths).
+WireId build_less_than(BooleanCircuit& c, const WireBundle& a, const WireBundle& b);
+
+// Sum of single bits as a binary counter (width = ceil(log2(bits+1))).
+WireBundle build_popcount(BooleanCircuit& c, const std::vector<WireId>& bits);
+
+// Adder tree summing equal-width bundles; result width grows by log2(count).
+WireBundle build_sum_tree(BooleanCircuit& c, const std::vector<WireBundle>& items);
+
+// sel ? a : b, bundle-wise (equal widths).
+WireBundle build_mux(BooleanCircuit& c, WireId sel, const WireBundle& a, const WireBundle& b);
+
+// Zero-extends a bundle to `width` wires.
+WireBundle zero_extend(BooleanCircuit& c, const WireBundle& a, std::size_t width);
+
+}  // namespace spfe::circuits

@@ -1,0 +1,164 @@
+#include "circuits/branching_program.h"
+
+#include <algorithm>
+
+namespace spfe::circuits {
+
+bool BpGuard::eval(const std::vector<std::uint64_t>& args) const {
+  if (is_const) return true;
+  if (arg_index >= args.size()) throw InvalidArgument("BpGuard: missing argument");
+  const bool bit = ((args[arg_index] >> bit_index) & 1) != 0;
+  return negated ? !bit : bit;
+}
+
+BranchingProgram::BranchingProgram(std::size_t num_vertices) : v_(num_vertices) {
+  if (num_vertices < 2) throw InvalidArgument("BranchingProgram: need at least 2 vertices");
+}
+
+void BranchingProgram::add_edge(std::uint32_t from, std::uint32_t to, BpGuard guard) {
+  if (from >= to) throw InvalidArgument("BranchingProgram: edges must go forward");
+  if (to >= v_) throw InvalidArgument("BranchingProgram: vertex out of range");
+  edges_.push_back({from, to, guard});
+}
+
+std::size_t BranchingProgram::arity() const {
+  std::size_t a = 0;
+  for (const BpEdge& e : edges_) {
+    if (!e.guard.is_const) a = std::max(a, e.guard.arg_index + 1);
+  }
+  return a;
+}
+
+bool BranchingProgram::eval(const std::vector<std::uint64_t>& args) const {
+  // Path counting mod 2 by topological DP over vertex ids.
+  std::vector<std::uint8_t> count(v_, 0);
+  count[0] = 1;
+  // Edges may be in any order; process grouped by source in id order.
+  std::vector<std::vector<const BpEdge*>> by_source(v_);
+  for (const BpEdge& e : edges_) by_source[e.from].push_back(&e);
+  for (std::size_t u = 0; u < v_; ++u) {
+    if (count[u] == 0) continue;
+    for (const BpEdge* e : by_source[u]) {
+      if (e->guard.eval(args)) count[e->to] ^= count[u];
+    }
+  }
+  return count[v_ - 1] != 0;
+}
+
+namespace {
+
+// Recursive series/parallel compiler. Returns a BP fragment as edges over a
+// private vertex numbering with designated source/sink; `offset` renumbers.
+struct Fragment {
+  std::size_t vertices;  // includes source (0) and sink (vertices-1)
+  std::vector<BpEdge> edges;
+};
+
+Fragment compile(const Formula& f);
+
+Fragment leaf_fragment(BpGuard guard) {
+  Fragment frag;
+  frag.vertices = 2;
+  frag.edges.push_back({0, 1, guard});
+  return frag;
+}
+
+// AND: series composition (sink of a = source of b).
+Fragment series(Fragment a, Fragment b) {
+  Fragment out;
+  out.vertices = a.vertices + b.vertices - 1;
+  out.edges = std::move(a.edges);
+  const std::uint32_t shift = static_cast<std::uint32_t>(a.vertices - 1);
+  for (BpEdge e : b.edges) {
+    e.from += shift;
+    e.to += shift;
+    out.edges.push_back(e);
+  }
+  return out;
+}
+
+// XOR: parallel composition sharing source and sink. Internal vertices of b
+// are renumbered after a's; the shared sink must stay the largest id, so
+// a's sink is moved to the end.
+Fragment parallel(Fragment a, Fragment b) {
+  Fragment out;
+  // Layout: source 0, a-internals, b-internals, shared sink.
+  const std::size_t a_internal = a.vertices - 2;
+  const std::size_t b_internal = b.vertices - 2;
+  out.vertices = 2 + a_internal + b_internal;
+  const std::uint32_t sink = static_cast<std::uint32_t>(out.vertices - 1);
+  auto remap_a = [&](std::uint32_t v) -> std::uint32_t {
+    if (v == 0) return 0;
+    if (v == a.vertices - 1) return sink;
+    return v;  // internal ids 1..a_internal stay
+  };
+  auto remap_b = [&](std::uint32_t v) -> std::uint32_t {
+    if (v == 0) return 0;
+    if (v == b.vertices - 1) return sink;
+    return static_cast<std::uint32_t>(v + a_internal);  // shift internals
+  };
+  for (const BpEdge& e : a.edges) out.edges.push_back({remap_a(e.from), remap_a(e.to), e.guard});
+  for (const BpEdge& e : b.edges) out.edges.push_back({remap_b(e.from), remap_b(e.to), e.guard});
+  return out;
+}
+
+Fragment negate(Fragment a) {
+  // NOT a = 1 XOR a: parallel with a constant-true edge.
+  return parallel(leaf_fragment(BpGuard::always()), std::move(a));
+}
+
+Fragment compile(const Formula& f) {
+  switch (f.op()) {
+    case FormulaOp::kLeaf:
+      return leaf_fragment(BpGuard::literal(f.arg_index(), 0));
+    case FormulaOp::kConst:
+      // Constant 1: a single always-true edge; constant 0: parallel of two
+      // always-true edges (two paths cancel mod 2).
+      return f.const_value()
+                 ? leaf_fragment(BpGuard::always())
+                 : parallel(leaf_fragment(BpGuard::always()), leaf_fragment(BpGuard::always()));
+    case FormulaOp::kNot:
+      return negate(compile(f.left()));
+    case FormulaOp::kAnd:
+      return series(compile(f.left()), compile(f.right()));
+    case FormulaOp::kXor:
+      return parallel(compile(f.left()), compile(f.right()));
+    case FormulaOp::kOr: {
+      // a | b = ~(~a & ~b)
+      return negate(series(negate(compile(f.left())), negate(compile(f.right()))));
+    }
+  }
+  throw InvalidArgument("BranchingProgram: corrupt formula op");
+}
+
+}  // namespace
+
+BranchingProgram BranchingProgram::from_formula(const Formula& formula) {
+  const Fragment frag = compile(formula);
+  BranchingProgram bp(frag.vertices);
+  for (const BpEdge& e : frag.edges) {
+    // Fragment numbering may have from > to for edges into the shared sink
+    // after remapping; normalize is unnecessary because series/parallel only
+    // produce forward edges by construction — but verify defensively.
+    bp.add_edge(e.from, e.to, e.guard);
+  }
+  return bp;
+}
+
+BranchingProgram BranchingProgram::equals_constant(std::size_t bits, std::uint64_t constant) {
+  if (bits == 0 || bits > 63) {
+    throw InvalidArgument("BranchingProgram::equals_constant: bits in [1, 63]");
+  }
+  if (bits < 64 && (constant >> bits) != 0) {
+    throw InvalidArgument("BranchingProgram::equals_constant: constant too wide");
+  }
+  BranchingProgram bp(bits + 1);
+  for (std::size_t b = 0; b < bits; ++b) {
+    const bool want = ((constant >> b) & 1) != 0;
+    bp.add_edge(static_cast<std::uint32_t>(b), static_cast<std::uint32_t>(b + 1),
+                BpGuard::literal(0, b, /*negated=*/!want));
+  }
+  return bp;
+}
+
+}  // namespace spfe::circuits

@@ -1,0 +1,79 @@
+// Mod-2 branching programs — the function representation behind the
+// perfectly secure PSM protocol ([30] in the paper; see psm/psm_bp.h).
+//
+// A BP is a DAG on vertices 0..V-1 (topologically ordered, source 0, sink
+// V-1) whose edges carry guards: constant-true or a literal of one
+// function argument's bit. It computes
+//     f(x) = #{source->sink paths with all guards true} mod 2.
+// Formulas compile to BPs of linear size via series/parallel composition:
+// AND = series, XOR = parallel, NOT a = parallel(true-edge, a),
+// OR(a,b) = NOT(AND(NOT a, NOT b)).
+//
+// The algebraic view used by the PSM: let A(x) be the adjacency matrix over
+// GF(2) and M(x) = (A - I) with the first column and last row deleted. Then
+// M has 1s on the subdiagonal, 0s below, and det(M(x)) = f(x). M is affine
+// in the input bits with every entry depending on at most one argument —
+// the exact decomposition the PSM randomized encoding needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuits/formula.h"
+#include "common/error.h"
+
+namespace spfe::circuits {
+
+struct BpGuard {
+  // Constant-true guard when `is_const` is set; otherwise the literal
+  // (argument arg_index's bit bit_index, possibly negated).
+  bool is_const = true;
+  std::size_t arg_index = 0;
+  std::size_t bit_index = 0;
+  bool negated = false;
+
+  static BpGuard always() { return {}; }
+  static BpGuard literal(std::size_t arg, std::size_t bit, bool negated_ = false) {
+    return {false, arg, bit, negated_};
+  }
+
+  bool eval(const std::vector<std::uint64_t>& args) const;
+};
+
+struct BpEdge {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  BpGuard guard;
+};
+
+class BranchingProgram {
+ public:
+  // `num_vertices` >= 2; source is 0 and sink is num_vertices-1.
+  explicit BranchingProgram(std::size_t num_vertices);
+
+  std::size_t num_vertices() const { return v_; }
+  const std::vector<BpEdge>& edges() const { return edges_; }
+  // Dimension of the path matrix M (= num_vertices - 1).
+  std::size_t matrix_dim() const { return v_ - 1; }
+  // 1 + max argument index referenced (0 if none).
+  std::size_t arity() const;
+
+  void add_edge(std::uint32_t from, std::uint32_t to, BpGuard guard);
+
+  // f(x): path count mod 2 with arguments given as packed bit integers.
+  bool eval(const std::vector<std::uint64_t>& args) const;
+
+  // Compiles a Boolean formula (arguments = single bits, arg j = bit 0 of
+  // args[j]) into an equivalent mod-2 BP of size O(formula size).
+  static BranchingProgram from_formula(const Formula& formula);
+
+  // BP for "argument 0 (a `bits`-bit value) == constant": a series chain of
+  // literal guards — the keyword-match kernel of §4.
+  static BranchingProgram equals_constant(std::size_t bits, std::uint64_t constant);
+
+ private:
+  std::size_t v_;
+  std::vector<BpEdge> edges_;
+};
+
+}  // namespace spfe::circuits

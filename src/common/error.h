@@ -1,0 +1,43 @@
+// Exception hierarchy for the SPFE library.
+//
+// All throwing code paths use one of these types so callers can distinguish
+// programmer errors (InvalidArgument), malformed wire data
+// (SerializationError), cryptographic failures (CryptoError), and protocol
+// violations by a counterparty (ProtocolError).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace spfe {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Caller passed a value violating a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+// Wire data could not be parsed (truncation, bad tag, out-of-range value).
+class SerializationError : public Error {
+ public:
+  explicit SerializationError(const std::string& what) : Error(what) {}
+};
+
+// A cryptographic operation failed (e.g. no modular inverse, bad key size).
+class CryptoError : public Error {
+ public:
+  explicit CryptoError(const std::string& what) : Error(what) {}
+};
+
+// A counterparty deviated from the protocol in a detectable way.
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace spfe

@@ -1,0 +1,85 @@
+#include "crypto/chacha20.h"
+
+#include <cstring>
+
+namespace spfe::crypto {
+namespace {
+
+inline std::uint32_t rotl(std::uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c, std::uint32_t& d) {
+  a += b;
+  d = rotl(d ^ a, 16);
+  c += d;
+  b = rotl(b ^ c, 12);
+  a += b;
+  d = rotl(d ^ a, 8);
+  c += d;
+  b = rotl(b ^ c, 7);
+}
+
+inline std::uint32_t load32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+ChaCha20::ChaCha20(const std::array<std::uint8_t, kKeySize>& key,
+                   const std::array<std::uint8_t, kNonceSize>& nonce,
+                   std::uint32_t initial_counter)
+    : counter_(initial_counter) {
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state_[4 + i] = load32(key.data() + 4 * i);
+  state_[12] = 0;  // counter slot, filled per block
+  for (int i = 0; i < 3; ++i) state_[13 + i] = load32(nonce.data() + 4 * i);
+}
+
+void ChaCha20::block(std::uint32_t counter, std::uint8_t out[kBlockSize]) const {
+  std::array<std::uint32_t, 16> x = state_;
+  x[12] = counter;
+  std::array<std::uint32_t, 16> w = x;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(w[0], w[4], w[8], w[12]);
+    quarter_round(w[1], w[5], w[9], w[13]);
+    quarter_round(w[2], w[6], w[10], w[14]);
+    quarter_round(w[3], w[7], w[11], w[15]);
+    quarter_round(w[0], w[5], w[10], w[15]);
+    quarter_round(w[1], w[6], w[11], w[12]);
+    quarter_round(w[2], w[7], w[8], w[13]);
+    quarter_round(w[3], w[4], w[9], w[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t v = w[i] + x[i];
+    out[4 * i] = static_cast<std::uint8_t>(v);
+    out[4 * i + 1] = static_cast<std::uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+}
+
+void ChaCha20::keystream(std::uint8_t* out, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    if (partial_used_ == kBlockSize) {
+      block(counter_++, partial_.data());
+      partial_used_ = 0;
+    }
+    const std::size_t take = std::min(len - off, kBlockSize - partial_used_);
+    std::memcpy(out + off, partial_.data() + partial_used_, take);
+    partial_used_ += take;
+    off += take;
+  }
+}
+
+Bytes ChaCha20::process(BytesView data) {
+  Bytes out(data.size());
+  keystream(out.data(), out.size());
+  for (std::size_t i = 0; i < data.size(); ++i) out[i] ^= data[i];
+  return out;
+}
+
+}  // namespace spfe::crypto

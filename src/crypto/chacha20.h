@@ -1,0 +1,36 @@
+// ChaCha20 stream cipher (RFC 8439 block function), used as the PRG core.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace spfe::crypto {
+
+class ChaCha20 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kNonceSize = 12;
+  static constexpr std::size_t kBlockSize = 64;
+
+  ChaCha20(const std::array<std::uint8_t, kKeySize>& key,
+           const std::array<std::uint8_t, kNonceSize>& nonce, std::uint32_t initial_counter = 0);
+
+  // Produces the keystream block for `counter` into `out`.
+  void block(std::uint32_t counter, std::uint8_t out[kBlockSize]) const;
+
+  // Fills `out` with keystream, advancing the internal counter.
+  void keystream(std::uint8_t* out, std::size_t len);
+
+  // XORs `data` with keystream (encrypt == decrypt).
+  Bytes process(BytesView data);
+
+ private:
+  std::array<std::uint32_t, 16> state_;
+  std::uint32_t counter_;
+  std::array<std::uint8_t, kBlockSize> partial_;
+  std::size_t partial_used_ = kBlockSize;  // no buffered keystream initially
+};
+
+}  // namespace spfe::crypto

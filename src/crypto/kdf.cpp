@@ -1,0 +1,28 @@
+#include "crypto/kdf.h"
+
+#include "crypto/sha256.h"
+
+namespace spfe::crypto {
+
+Bytes kdf_expand(BytesView key_material, const std::string& context, std::size_t out_len) {
+  Bytes out;
+  out.reserve(out_len);
+  std::uint32_t counter = 0;
+  while (out.size() < out_len) {
+    Sha256 h;
+    h.update(key_material);
+    const std::uint8_t ctr[4] = {static_cast<std::uint8_t>(counter),
+                                 static_cast<std::uint8_t>(counter >> 8),
+                                 static_cast<std::uint8_t>(counter >> 16),
+                                 static_cast<std::uint8_t>(counter >> 24)};
+    h.update(BytesView(ctr, 4));
+    h.update(BytesView(reinterpret_cast<const std::uint8_t*>(context.data()), context.size()));
+    const auto digest = h.finish();
+    const std::size_t take = std::min(digest.size(), out_len - out.size());
+    out.insert(out.end(), digest.begin(), digest.begin() + static_cast<std::ptrdiff_t>(take));
+    ++counter;
+  }
+  return out;
+}
+
+}  // namespace spfe::crypto

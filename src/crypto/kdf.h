@@ -1,0 +1,18 @@
+// SHA-256 based key derivation (counter-mode expand, HKDF-expand style).
+//
+// Used to derive wire-label encryption pads in Yao garbling and message
+// masks in oblivious transfer, where the output length depends on payload
+// size rather than being a fixed digest.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.h"
+
+namespace spfe::crypto {
+
+// Derives `out_len` pseudorandom bytes from `key_material` and `context`.
+// Different contexts yield independent outputs for the same key material.
+Bytes kdf_expand(BytesView key_material, const std::string& context, std::size_t out_len);
+
+}  // namespace spfe::crypto

@@ -1,0 +1,37 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used as the hash behind garbled-circuit row encryption, OT key derivation,
+// and commitment-style checks in tests. Supports incremental hashing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace spfe::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+
+  Sha256();
+
+  void update(BytesView data);
+  // Finalizes and returns the digest; the object must not be reused after.
+  std::array<std::uint8_t, kDigestSize> finish();
+
+  // One-shot convenience.
+  static std::array<std::uint8_t, kDigestSize> hash(BytesView data);
+  static Bytes hash_bytes(BytesView data);
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buf_;
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace spfe::crypto

@@ -1,0 +1,57 @@
+#include "dbgen/census.h"
+
+#include "common/error.h"
+
+namespace spfe::dbgen {
+
+std::vector<std::uint64_t> CensusDatabase::private_column() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(records.size());
+  for (const CensusRecord& r : records) out.push_back(r.salary);
+  return out;
+}
+
+std::vector<std::size_t> CensusDatabase::select(
+    const std::function<bool(const CensusRecord&)>& predicate) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (predicate(records[i])) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> CensusDatabase::select_sample(
+    const std::function<bool(const CensusRecord&)>& predicate, std::size_t m) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < records.size() && out.size() < m; ++i) {
+    if (predicate(records[i])) out.push_back(i);
+  }
+  if (out.size() < m) {
+    throw InvalidArgument("CensusDatabase: fewer than m records match the predicate");
+  }
+  return out;
+}
+
+CensusDatabase generate_census(const CensusOptions& options, crypto::Prg& prg) {
+  if (options.num_records == 0 || options.num_zip_codes == 0 || options.max_salary == 0) {
+    throw InvalidArgument("generate_census: empty geometry");
+  }
+  CensusDatabase db;
+  db.records.reserve(options.num_records);
+  for (std::size_t i = 0; i < options.num_records; ++i) {
+    CensusRecord r;
+    r.zip_code = static_cast<std::uint32_t>(prg.uniform(options.num_zip_codes));
+    r.age_bracket = static_cast<std::uint8_t>(prg.uniform(8));
+    // Salary loosely correlated with age bracket (older = higher median),
+    // so per-bracket statistics differ measurably in the examples.
+    const std::uint64_t base = options.max_salary / 10 + r.age_bracket * 7000ull;
+    const std::uint64_t spread = options.max_salary - base;
+    r.salary = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(base + prg.uniform(std::max<std::uint64_t>(spread, 1)),
+                                options.max_salary));
+    db.records.push_back(r);
+  }
+  return db;
+}
+
+}  // namespace spfe::dbgen

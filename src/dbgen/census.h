@@ -1,0 +1,46 @@
+// Synthetic census-style workload generator.
+//
+// Models the paper's motivating scenario: each record has *public*
+// attributes (zip code, age bracket) that the client can see, and a
+// *private* attribute (salary) held by the server. The client selects
+// records by a predicate on the public columns and privately computes
+// statistics over the corresponding private values.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "crypto/prg.h"
+
+namespace spfe::dbgen {
+
+struct CensusRecord {
+  std::uint32_t zip_code;    // public
+  std::uint8_t age_bracket;  // public: 0..7 (decades 10-90)
+  std::uint32_t salary;      // private (the SPFE database value)
+};
+
+struct CensusDatabase {
+  std::vector<CensusRecord> records;
+
+  std::size_t size() const { return records.size(); }
+  // The private column as an SPFE database.
+  std::vector<std::uint64_t> private_column() const;
+  // Indices of records matching a public-attribute predicate.
+  std::vector<std::size_t> select(
+      const std::function<bool(const CensusRecord&)>& predicate) const;
+  // First m matches (the client's selected sample).
+  std::vector<std::size_t> select_sample(
+      const std::function<bool(const CensusRecord&)>& predicate, std::size_t m) const;
+};
+
+struct CensusOptions {
+  std::size_t num_records = 1024;
+  std::uint32_t num_zip_codes = 100;
+  std::uint32_t max_salary = 200'000;
+};
+
+CensusDatabase generate_census(const CensusOptions& options, crypto::Prg& prg);
+
+}  // namespace spfe::dbgen

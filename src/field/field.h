@@ -1,0 +1,37 @@
+// Field abstraction shared by the protocol layers.
+//
+// Two concrete fields implement the `FieldLike` concept:
+//   - Fp64: prime field with a word-sized modulus (the workhorse for the
+//     multi-server instance-hiding protocol of §3.1, where |F| only needs to
+//     exceed the server count and the data range);
+//   - Zp: prime field over BigInt (used when field elements must match a
+//     homomorphic-encryption plaintext space, §3.3.2 and §4).
+// Generic code (polynomials, Shamir sharing, the §3.1 engine) is templated
+// on the field so both instantiations share one implementation.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+#include "crypto/prg.h"
+
+namespace spfe::field {
+
+template <typename F>
+concept FieldLike = requires(const F f, const typename F::value_type a,
+                             const typename F::value_type b, crypto::Prg& prg,
+                             std::uint64_t u) {
+  typename F::value_type;
+  { f.zero() } -> std::convertible_to<typename F::value_type>;
+  { f.one() } -> std::convertible_to<typename F::value_type>;
+  { f.add(a, b) } -> std::convertible_to<typename F::value_type>;
+  { f.sub(a, b) } -> std::convertible_to<typename F::value_type>;
+  { f.mul(a, b) } -> std::convertible_to<typename F::value_type>;
+  { f.neg(a) } -> std::convertible_to<typename F::value_type>;
+  { f.inv(a) } -> std::convertible_to<typename F::value_type>;
+  { f.from_u64(u) } -> std::convertible_to<typename F::value_type>;
+  { f.random(prg) } -> std::convertible_to<typename F::value_type>;
+  { f.eq(a, b) } -> std::convertible_to<bool>;
+};
+
+}  // namespace spfe::field

@@ -1,0 +1,60 @@
+// Prime field with a modulus below 2^63 (so sums of two elements never
+// overflow a u64). Multiplication reduces via unsigned __int128.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/prg.h"
+
+namespace spfe::field {
+
+class Fp64 {
+ public:
+  using value_type = std::uint64_t;
+
+  // `modulus` must be prime (inv() relies on Fermat) and < 2^63.
+  explicit Fp64(std::uint64_t modulus);
+
+  std::uint64_t modulus() const { return p_; }
+
+  value_type zero() const { return 0; }
+  value_type one() const { return 1 % p_; }
+  value_type from_u64(std::uint64_t v) const { return v % p_; }
+  // Embeds a signed value (negatives map to p - |v|).
+  value_type from_i64(std::int64_t v) const;
+
+  value_type add(value_type a, value_type b) const {
+    const std::uint64_t s = a + b;
+    return s >= p_ ? s - p_ : s;
+  }
+  value_type sub(value_type a, value_type b) const { return a >= b ? a - b : a + p_ - b; }
+  value_type neg(value_type a) const { return a == 0 ? 0 : p_ - a; }
+  value_type mul(value_type a, value_type b) const {
+    return static_cast<std::uint64_t>(static_cast<unsigned __int128>(a) * b % p_);
+  }
+  value_type pow(value_type base, std::uint64_t exp) const;
+  // Throws CryptoError on zero.
+  value_type inv(value_type a) const;
+
+  value_type random(crypto::Prg& prg) const { return prg.uniform(p_); }
+  // Uniform nonzero element.
+  value_type random_nonzero(crypto::Prg& prg) const { return 1 + prg.uniform(p_ - 1); }
+
+  bool eq(value_type a, value_type b) const { return a == b; }
+
+  bool operator==(const Fp64&) const = default;
+
+  // Commonly used prime moduli:
+  // 2^61 - 1 (Mersenne): plenty of headroom for statistics over 32-bit data.
+  static constexpr std::uint64_t kMersenne61 = (std::uint64_t(1) << 61) - 1;
+
+ private:
+  std::uint64_t p_;
+};
+
+// Smallest prime > n that fits the Fp64 constraints; deterministic
+// (no PRG needed — uses trial division by deterministic Miller-Rabin bases).
+std::uint64_t smallest_prime_above(std::uint64_t n);
+
+}  // namespace spfe::field

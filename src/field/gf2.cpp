@@ -1,0 +1,130 @@
+#include <bit>
+
+#include "field/gf2.h"
+
+namespace spfe::field {
+
+Gf2Matrix::Gf2Matrix(std::size_t dim) : rows_(dim, 0) {
+  if (dim == 0 || dim > 64) throw InvalidArgument("Gf2Matrix: dim must be in [1, 64]");
+}
+
+bool Gf2Matrix::get(std::size_t r, std::size_t c) const {
+  if (r >= dim() || c >= dim()) throw InvalidArgument("Gf2Matrix: index out of range");
+  return ((rows_[r] >> c) & 1) != 0;
+}
+
+void Gf2Matrix::set(std::size_t r, std::size_t c, bool v) {
+  if (r >= dim() || c >= dim()) throw InvalidArgument("Gf2Matrix: index out of range");
+  if (v) {
+    rows_[r] |= std::uint64_t(1) << c;
+  } else {
+    rows_[r] &= ~(std::uint64_t(1) << c);
+  }
+}
+
+void Gf2Matrix::flip(std::size_t r, std::size_t c) {
+  if (r >= dim() || c >= dim()) throw InvalidArgument("Gf2Matrix: index out of range");
+  rows_[r] ^= std::uint64_t(1) << c;
+}
+
+Gf2Matrix Gf2Matrix::identity(std::size_t dim) {
+  Gf2Matrix m(dim);
+  for (std::size_t i = 0; i < dim; ++i) m.rows_[i] = std::uint64_t(1) << i;
+  return m;
+}
+
+Gf2Matrix Gf2Matrix::random_unit_upper(std::size_t dim, crypto::Prg& prg) {
+  Gf2Matrix m(dim);
+  for (std::size_t r = 0; r < dim; ++r) {
+    std::uint64_t row = prg.u64();
+    // Keep only the strictly-upper part, then set the diagonal.
+    if (r + 1 < 64) {
+      row &= ~((std::uint64_t(1) << (r + 1)) - 1);
+    } else {
+      row = 0;
+    }
+    if (dim < 64) row &= (std::uint64_t(1) << dim) - 1;
+    m.rows_[r] = row | (std::uint64_t(1) << r);
+  }
+  return m;
+}
+
+Gf2Matrix Gf2Matrix::random(std::size_t dim, crypto::Prg& prg) {
+  Gf2Matrix m(dim);
+  for (std::size_t r = 0; r < dim; ++r) {
+    std::uint64_t row = prg.u64();
+    if (dim < 64) row &= (std::uint64_t(1) << dim) - 1;
+    m.rows_[r] = row;
+  }
+  return m;
+}
+
+Gf2Matrix Gf2Matrix::operator*(const Gf2Matrix& o) const {
+  if (dim() != o.dim()) throw InvalidArgument("Gf2Matrix: dimension mismatch");
+  Gf2Matrix out(dim());
+  for (std::size_t r = 0; r < dim(); ++r) {
+    std::uint64_t acc = 0;
+    std::uint64_t row = rows_[r];
+    while (row != 0) {
+      const int k = std::countr_zero(row);
+      acc ^= o.rows_[static_cast<std::size_t>(k)];
+      row &= row - 1;
+    }
+    out.rows_[r] = acc;
+  }
+  return out;
+}
+
+Gf2Matrix Gf2Matrix::operator+(const Gf2Matrix& o) const {
+  Gf2Matrix out = *this;
+  out += o;
+  return out;
+}
+
+Gf2Matrix& Gf2Matrix::operator+=(const Gf2Matrix& o) {
+  if (dim() != o.dim()) throw InvalidArgument("Gf2Matrix: dimension mismatch");
+  for (std::size_t r = 0; r < dim(); ++r) rows_[r] ^= o.rows_[r];
+  return *this;
+}
+
+bool Gf2Matrix::determinant() const {
+  std::vector<std::uint64_t> a = rows_;
+  const std::size_t n = dim();
+  for (std::size_t c = 0; c < n; ++c) {
+    // Find a pivot row at or below c with bit c set.
+    std::size_t pivot = c;
+    while (pivot < n && ((a[pivot] >> c) & 1) == 0) ++pivot;
+    if (pivot == n) return false;  // singular
+    std::swap(a[c], a[pivot]);
+    for (std::size_t r = c + 1; r < n; ++r) {
+      if ((a[r] >> c) & 1) a[r] ^= a[c];
+    }
+  }
+  return true;  // full rank <=> det = 1 over GF(2)
+}
+
+Bytes Gf2Matrix::to_bytes() const {
+  const std::size_t n = dim();
+  Bytes out(byte_size(n), 0);
+  std::size_t bit = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c, ++bit) {
+      if ((rows_[r] >> c) & 1) out[bit / 8] |= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+  }
+  return out;
+}
+
+Gf2Matrix Gf2Matrix::from_bytes(std::size_t dim, BytesView data) {
+  if (data.size() != byte_size(dim)) throw SerializationError("Gf2Matrix: bad byte size");
+  Gf2Matrix m(dim);
+  std::size_t bit = 0;
+  for (std::size_t r = 0; r < dim; ++r) {
+    for (std::size_t c = 0; c < dim; ++c, ++bit) {
+      if ((data[bit / 8] >> (bit % 8)) & 1) m.rows_[r] |= std::uint64_t(1) << c;
+    }
+  }
+  return m;
+}
+
+}  // namespace spfe::field

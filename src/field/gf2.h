@@ -1,0 +1,48 @@
+// Dense GF(2) matrices (bit-packed rows, dimension <= 64), supporting the
+// branching-program randomized encoding: multiplication, determinant, and
+// sampling of unit upper-triangular matrices.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "crypto/prg.h"
+
+namespace spfe::field {
+
+class Gf2Matrix {
+ public:
+  explicit Gf2Matrix(std::size_t dim);
+
+  std::size_t dim() const { return rows_.size(); }
+
+  bool get(std::size_t r, std::size_t c) const;
+  void set(std::size_t r, std::size_t c, bool v);
+  void flip(std::size_t r, std::size_t c);
+
+  static Gf2Matrix identity(std::size_t dim);
+  // Uniform among unit upper-triangular matrices (1s on the diagonal,
+  // random above, 0 below).
+  static Gf2Matrix random_unit_upper(std::size_t dim, crypto::Prg& prg);
+  static Gf2Matrix random(std::size_t dim, crypto::Prg& prg);
+
+  Gf2Matrix operator*(const Gf2Matrix& o) const;
+  Gf2Matrix operator+(const Gf2Matrix& o) const;  // XOR
+  Gf2Matrix& operator+=(const Gf2Matrix& o);
+
+  bool determinant() const;
+
+  bool operator==(const Gf2Matrix& o) const = default;
+
+  // Packed row-major bit serialization (ceil(dim^2 / 8) bytes).
+  Bytes to_bytes() const;
+  static Gf2Matrix from_bytes(std::size_t dim, BytesView data);
+  static std::size_t byte_size(std::size_t dim) { return (dim * dim + 7) / 8; }
+
+ private:
+  std::vector<std::uint64_t> rows_;  // row r = bitmask of columns
+};
+
+}  // namespace spfe::field

@@ -1,0 +1,144 @@
+// Reed–Solomon decoding (Berlekamp–Welch) over a FieldLike field.
+//
+// Implements the §3.1 fault-tolerance remark: "t' malicious servers can be
+// tolerated by adding 2t' additional servers". The servers' answers lie on a
+// degree-d polynomial; with k >= d + 1 + 2e points of which at most e are
+// corrupted, `berlekamp_welch` recovers the polynomial's value at any point.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/error.h"
+#include "field/field.h"
+#include "field/polynomial.h"
+
+namespace spfe::field {
+
+// Solves a linear system A z = b over the field by Gaussian elimination.
+// Returns std::nullopt if the system is inconsistent; free variables are
+// fixed to zero (any solution works for Berlekamp–Welch).
+template <FieldLike F>
+std::optional<std::vector<typename F::value_type>> solve_linear_system(
+    const F& field, std::vector<std::vector<typename F::value_type>> a,
+    std::vector<typename F::value_type> b) {
+  const std::size_t rows = a.size();
+  if (rows == 0 || b.size() != rows) throw InvalidArgument("solve_linear_system: bad shape");
+  const std::size_t cols = a[0].size();
+  std::vector<std::size_t> pivot_col;
+  std::size_t r = 0;
+  for (std::size_t c = 0; c < cols && r < rows; ++c) {
+    // Find pivot.
+    std::size_t pivot = r;
+    while (pivot < rows && field.eq(a[pivot][c], field.zero())) ++pivot;
+    if (pivot == rows) continue;
+    std::swap(a[pivot], a[r]);
+    std::swap(b[pivot], b[r]);
+    const auto inv = field.inv(a[r][c]);
+    for (std::size_t j = c; j < cols; ++j) a[r][j] = field.mul(a[r][j], inv);
+    b[r] = field.mul(b[r], inv);
+    for (std::size_t i = 0; i < rows; ++i) {
+      if (i == r || field.eq(a[i][c], field.zero())) continue;
+      const auto factor = a[i][c];
+      for (std::size_t j = c; j < cols; ++j) {
+        a[i][j] = field.sub(a[i][j], field.mul(factor, a[r][j]));
+      }
+      b[i] = field.sub(b[i], field.mul(factor, b[r]));
+    }
+    pivot_col.push_back(c);
+    ++r;
+  }
+  // Inconsistency check: zero row with nonzero rhs.
+  for (std::size_t i = r; i < rows; ++i) {
+    if (!field.eq(b[i], field.zero())) return std::nullopt;
+  }
+  std::vector<typename F::value_type> z(cols, field.zero());
+  for (std::size_t i = 0; i < pivot_col.size(); ++i) z[pivot_col[i]] = b[i];
+  return z;
+}
+
+// Decodes (xs[i], ys[i]) as a degree <= d polynomial with at most
+// `max_errors` corrupted points, and evaluates it at `at`. Requires
+// xs.size() >= d + 1 + 2*max_errors and distinct xs. Returns nullopt when
+// decoding fails (more errors than the budget).
+template <FieldLike F>
+std::optional<typename F::value_type> berlekamp_welch(
+    const F& field, const std::vector<typename F::value_type>& xs,
+    const std::vector<typename F::value_type>& ys, std::size_t d, std::size_t max_errors,
+    const typename F::value_type& at) {
+  const std::size_t k = xs.size();
+  if (ys.size() != k) throw InvalidArgument("berlekamp_welch: point size mismatch");
+  if (k < d + 1 + 2 * max_errors) {
+    throw InvalidArgument("berlekamp_welch: not enough points for the error budget");
+  }
+  if (max_errors == 0) return interpolate_at(field, xs, ys, at);
+
+  // Find N (deg <= d + e) and monic E (deg = e) with N(x_i) = y_i * E(x_i).
+  // Unknowns: N's d+e+1 coefficients, E's e lower coefficients (leading = 1).
+  const std::size_t e = max_errors;
+  const std::size_t n_coeffs = d + e + 1;
+  const std::size_t cols = n_coeffs + e;
+  std::vector<std::vector<typename F::value_type>> a(
+      k, std::vector<typename F::value_type>(cols, field.zero()));
+  std::vector<typename F::value_type> b(k, field.zero());
+  for (std::size_t i = 0; i < k; ++i) {
+    // N coefficients: + x^j
+    typename F::value_type pw = field.one();
+    for (std::size_t j = 0; j < n_coeffs; ++j) {
+      a[i][j] = pw;
+      pw = field.mul(pw, xs[i]);
+    }
+    // E lower coefficients: - y_i * x^j
+    pw = field.one();
+    for (std::size_t j = 0; j < e; ++j) {
+      a[i][n_coeffs + j] = field.neg(field.mul(ys[i], pw));
+      pw = field.mul(pw, xs[i]);
+    }
+    // rhs: y_i * x^e  (from the monic leading term of E)
+    typename F::value_type xe = field.one();
+    for (std::size_t j = 0; j < e; ++j) xe = field.mul(xe, xs[i]);
+    b[i] = field.mul(ys[i], xe);
+  }
+  const auto sol = solve_linear_system(field, std::move(a), std::move(b));
+  if (!sol.has_value()) return std::nullopt;
+
+  std::vector<typename F::value_type> n_coeff(sol->begin(),
+                                              sol->begin() + static_cast<std::ptrdiff_t>(n_coeffs));
+  std::vector<typename F::value_type> e_coeff(sol->begin() + static_cast<std::ptrdiff_t>(n_coeffs),
+                                              sol->end());
+  e_coeff.push_back(field.one());  // monic leading term
+  const Polynomial<F> numerator(field, std::move(n_coeff));
+  const Polynomial<F> error_locator(field, std::move(e_coeff));
+
+  // Verify the decoding: Q = N / E must be a degree <= d polynomial agreeing
+  // with all but <= e points. Recover Q by interpolation over non-error
+  // points, then check.
+  std::vector<typename F::value_type> good_xs, good_ys;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (!field.eq(error_locator.eval(xs[i]), field.zero())) {
+      const auto ev = field.mul(ys[i], error_locator.eval(xs[i]));
+      if (field.eq(numerator.eval(xs[i]), ev)) {
+        good_xs.push_back(xs[i]);
+        good_ys.push_back(ys[i]);
+      }
+    }
+  }
+  if (good_xs.size() < d + 1 || good_xs.size() + e < k) {
+    if (good_xs.size() < d + 1) return std::nullopt;
+  }
+  // Interpolate Q through the first d+1 good points and verify against all
+  // good points.
+  std::vector<typename F::value_type> qx(good_xs.begin(),
+                                         good_xs.begin() + static_cast<std::ptrdiff_t>(d + 1));
+  std::vector<typename F::value_type> qy(good_ys.begin(),
+                                         good_ys.begin() + static_cast<std::ptrdiff_t>(d + 1));
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (field.eq(interpolate_at(field, qx, qy, xs[i]), ys[i])) ++agree;
+  }
+  if (agree + e < k) return std::nullopt;
+  return interpolate_at(field, qx, qy, at);
+}
+
+}  // namespace spfe::field

@@ -1,0 +1,15 @@
+#include "field/zp.h"
+
+#include "common/error.h"
+
+namespace spfe::field {
+
+Zp::Zp(bignum::BigInt modulus) {
+  if (modulus <= bignum::BigInt(2) || !modulus.is_odd()) {
+    throw InvalidArgument("Zp: modulus must be an odd prime > 2");
+  }
+  p_ = std::make_shared<const bignum::BigInt>(std::move(modulus));
+  mont_ = std::make_shared<const bignum::MontgomeryContext>(*p_);
+}
+
+}  // namespace spfe::field

@@ -1,0 +1,59 @@
+// Prime field over BigInt, for protocols whose field must align with a
+// homomorphic-encryption plaintext space (§3.3.2, §4 weighted sum).
+#pragma once
+
+#include <memory>
+
+#include "bignum/bigint.h"
+#include "bignum/modarith.h"
+#include "crypto/prg.h"
+
+namespace spfe::field {
+
+class Zp {
+ public:
+  using value_type = bignum::BigInt;
+
+  // `modulus` must be an odd prime (oddness required by the Montgomery
+  // exponentiation context; all cryptographically relevant primes are odd).
+  explicit Zp(bignum::BigInt modulus);
+
+  const bignum::BigInt& modulus() const { return *p_; }
+
+  value_type zero() const { return bignum::BigInt(); }
+  value_type one() const { return bignum::BigInt(1); }
+  value_type from_u64(std::uint64_t v) const { return bignum::BigInt(v).mod_floor(*p_); }
+  value_type from_bigint(const bignum::BigInt& v) const { return v.mod_floor(*p_); }
+
+  value_type add(const value_type& a, const value_type& b) const {
+    return bignum::mod_add(a, b, *p_);
+  }
+  value_type sub(const value_type& a, const value_type& b) const {
+    return bignum::mod_sub(a, b, *p_);
+  }
+  value_type mul(const value_type& a, const value_type& b) const {
+    return bignum::mod_mul(a, b, *p_);
+  }
+  value_type neg(const value_type& a) const { return (-a).mod_floor(*p_); }
+  value_type inv(const value_type& a) const { return bignum::mod_inverse(a, *p_); }
+  value_type pow(const value_type& base, const bignum::BigInt& exp) const {
+    return mont_->pow(base, exp);
+  }
+
+  value_type random(crypto::Prg& prg) const { return bignum::BigInt::random_below(prg, *p_); }
+  value_type random_nonzero(crypto::Prg& prg) const {
+    return bignum::BigInt::random_below(prg, *p_ - bignum::BigInt(1)) + bignum::BigInt(1);
+  }
+
+  bool eq(const value_type& a, const value_type& b) const { return a == b; }
+
+  bool operator==(const Zp& o) const { return *p_ == *o.p_; }
+
+ private:
+  // Shared so Zp copies (stored inside polynomials, shares, protocol state)
+  // stay cheap.
+  std::shared_ptr<const bignum::BigInt> p_;
+  std::shared_ptr<const bignum::MontgomeryContext> mont_;
+};
+
+}  // namespace spfe::field

@@ -1,0 +1,73 @@
+#include "he/goldwasser_micali.h"
+
+#include "bignum/primes.h"
+#include "bignum/serialize.h"
+#include "common/error.h"
+
+namespace spfe::he {
+
+using bignum::BigInt;
+
+GmPublicKey::GmPublicKey(BigInt n, BigInt z)
+    : n_(std::move(n)), z_(std::move(z)), mont_(n_) {
+  if (n_ <= BigInt(3) || !n_.is_odd()) {
+    throw InvalidArgument("GmPublicKey: N must be odd and > 3");
+  }
+  if (bignum::jacobi(z_, n_) != 1) {
+    throw InvalidArgument("GmPublicKey: z must have Jacobi symbol +1");
+  }
+}
+
+BigInt GmPublicKey::encrypt(bool bit, crypto::Prg& prg) const {
+  const BigInt r = BigInt::random_below(prg, n_ - BigInt(1)) + BigInt(1);
+  const BigInt r2 = bignum::mod_mul(r, r, n_);
+  return bit ? bignum::mod_mul(z_, r2, n_) : r2;
+}
+
+BigInt GmPublicKey::xor_ct(const BigInt& ca, const BigInt& cb) const {
+  return bignum::mod_mul(ca, cb, n_);
+}
+
+BigInt GmPublicKey::rerandomize(const BigInt& c, crypto::Prg& prg) const {
+  const BigInt r = BigInt::random_below(prg, n_ - BigInt(1)) + BigInt(1);
+  return bignum::mod_mul(c, bignum::mod_mul(r, r, n_), n_);
+}
+
+void GmPublicKey::serialize(Writer& w) const {
+  bignum::write_bigint(w, n_);
+  bignum::write_bigint(w, z_);
+}
+
+GmPublicKey GmPublicKey::deserialize(Reader& r) {
+  BigInt n = bignum::read_bigint(r);
+  BigInt z = bignum::read_bigint(r);
+  return GmPublicKey(std::move(n), std::move(z));
+}
+
+GmPrivateKey::GmPrivateKey(BigInt p, BigInt q, BigInt z)
+    : pk_(p * q, std::move(z)), p_(std::move(p)) {}
+
+bool GmPrivateKey::decrypt(const BigInt& c) const {
+  // c is a residue mod p iff the plaintext bit is 0.
+  const int legendre = bignum::jacobi(c.mod_floor(p_), p_);
+  if (legendre == 0) throw CryptoError("GM decrypt: ciphertext shares factor with N");
+  return legendre == -1;
+}
+
+GmPrivateKey gm_keygen(crypto::Prg& prg, std::size_t modulus_bits) {
+  if (modulus_bits < 16) throw InvalidArgument("gm_keygen: modulus too small");
+  const std::size_t half = modulus_bits / 2;
+  const BigInt p = bignum::random_prime(prg, half);
+  BigInt q = bignum::random_prime(prg, modulus_bits - half);
+  while (q == p) q = bignum::random_prime(prg, modulus_bits - half);
+  const BigInt n = p * q;
+  // Find z: non-residue mod p and mod q (Jacobi(z, N) = +1 but z is not a QR).
+  for (;;) {
+    const BigInt z = BigInt::random_below(prg, n - BigInt(2)) + BigInt(2);
+    if (bignum::jacobi(z, p) == -1 && bignum::jacobi(z, q) == -1) {
+      return GmPrivateKey(p, q, z);
+    }
+  }
+}
+
+}  // namespace spfe::he

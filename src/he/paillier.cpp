@@ -1,0 +1,101 @@
+#include "he/paillier.h"
+
+#include "bignum/primes.h"
+#include "bignum/serialize.h"
+#include "common/error.h"
+
+namespace spfe::he {
+
+using bignum::BigInt;
+
+PaillierPublicKey::PaillierPublicKey(BigInt n)
+    : n_(std::move(n)), n2_(n_ * n_), mont_n2_(n2_) {
+  if (n_ <= BigInt(3) || !n_.is_odd()) {
+    throw InvalidArgument("PaillierPublicKey: N must be an odd composite > 3");
+  }
+}
+
+BigInt PaillierPublicKey::encrypt(const BigInt& m, crypto::Prg& prg) const {
+  // r uniform in [1, N); gcd(r, N) = 1 holds except with negligible
+  // probability (a violation would factor N).
+  const BigInt r = BigInt::random_below(prg, n_ - BigInt(1)) + BigInt(1);
+  return encrypt_with_randomness(m, r);
+}
+
+BigInt PaillierPublicKey::encrypt_with_randomness(const BigInt& m, const BigInt& r) const {
+  const BigInt m_red = m.mod_floor(n_);
+  // (1 + N)^m = 1 + m*N (mod N^2)
+  const BigInt gm = (BigInt(1) + m_red * n_).mod_floor(n2_);
+  const BigInt rn = mont_n2_.pow(r, n_);
+  return bignum::mod_mul(gm, rn, n2_);
+}
+
+BigInt PaillierPublicKey::add(const BigInt& ca, const BigInt& cb) const {
+  return bignum::mod_mul(ca, cb, n2_);
+}
+
+BigInt PaillierPublicKey::mul_scalar(const BigInt& c, const BigInt& scalar) const {
+  if (scalar.is_negative()) {
+    const BigInt inv = bignum::mod_inverse(c, n2_);
+    return mont_n2_.pow(inv, -scalar);
+  }
+  return mont_n2_.pow(c, scalar);
+}
+
+BigInt PaillierPublicKey::negate(const BigInt& c) const { return bignum::mod_inverse(c, n2_); }
+
+BigInt PaillierPublicKey::rerandomize(const BigInt& c, crypto::Prg& prg) const {
+  const BigInt r = BigInt::random_below(prg, n_ - BigInt(1)) + BigInt(1);
+  return bignum::mod_mul(c, mont_n2_.pow(r, n_), n2_);
+}
+
+void PaillierPublicKey::serialize(Writer& w) const { bignum::write_bigint(w, n_); }
+
+PaillierPublicKey PaillierPublicKey::deserialize(Reader& r) {
+  return PaillierPublicKey(bignum::read_bigint(r));
+}
+
+PaillierPrivateKey::PaillierPrivateKey(BigInt p, BigInt q) : pk_(p * q) {
+  if (p == q) throw InvalidArgument("PaillierPrivateKey: p and q must differ");
+  const BigInt p1 = p - BigInt(1);
+  const BigInt q1 = q - BigInt(1);
+  lambda_ = (p1 * q1) / bignum::gcd(p1, q1);  // lcm
+  // mu = (L(g^lambda mod N^2))^{-1} mod N; with g = N+1,
+  // g^lambda = 1 + lambda*N mod N^2, so L(g^lambda) = lambda mod N.
+  mu_ = bignum::mod_inverse(lambda_, pk_.n());
+}
+
+BigInt PaillierPrivateKey::decrypt(const BigInt& c) const {
+  const BigInt& n = pk_.n();
+  const BigInt& n2 = pk_.n_squared();
+  if (c.is_negative() || c >= n2) throw InvalidArgument("Paillier decrypt: ciphertext range");
+  if (!bignum::gcd(c, n).is_one()) throw CryptoError("Paillier decrypt: invalid ciphertext");
+  const BigInt u = bignum::mod_pow(c, lambda_, n2);
+  const BigInt l = (u - BigInt(1)) / n;  // L function
+  return bignum::mod_mul(l, mu_, n);
+}
+
+BigInt PaillierPrivateKey::decrypt_signed(const BigInt& c) const {
+  const BigInt m = decrypt(c);
+  const BigInt half = pk_.n() >> 1;
+  return m > half ? m - pk_.n() : m;
+}
+
+PaillierPrivateKey paillier_keygen(crypto::Prg& prg, std::size_t modulus_bits) {
+  if (modulus_bits < 16) throw InvalidArgument("paillier_keygen: modulus too small");
+  const std::size_t half = modulus_bits / 2;
+  for (;;) {
+    const BigInt p = bignum::random_prime(prg, half);
+    const BigInt q = bignum::random_prime(prg, modulus_bits - half);
+    if (p == q) continue;
+    // Guarantee gcd(N, phi(N)) = 1 (needed for correctness); distinct
+    // same-size primes give this automatically unless p | q-1 or q | p-1,
+    // which trial keygen simply retries on.
+    const BigInt n = p * q;
+    if (n.bit_length() != modulus_bits) continue;
+    if (!bignum::gcd(n, (p - BigInt(1)) * (q - BigInt(1))).is_one()) continue;
+    return PaillierPrivateKey(p, q);
+  }
+}
+
+}  // namespace spfe::he

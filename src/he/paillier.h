@@ -1,0 +1,84 @@
+// Paillier additively homomorphic encryption (cited as [41] in the paper).
+//
+// Plaintext group is Z_N; ciphertexts live in Z_{N^2}^*. The homomorphism is
+// exactly what §3.3.2/§3.3.3/§3.3.4/§4 require:
+//   E(a) (*) E(b)   = E(a + b mod N)      (ciphertext multiplication)
+//   E(a) ^ c        = E(c * a mod N)      (scalar exponentiation)
+// Protocols that work over a small ring Z_u embed Z_u in Z_N (u << N) and
+// track value ranges so blinding stays statistically hiding — see
+// mpc/arith_protocol.h for the bookkeeping.
+//
+// Encryption uses g = N + 1, so E(m, r) = (1 + m*N) * r^N mod N^2 costs a
+// single modexp. Decryption is CRT-free: L(c^lambda mod N^2) * mu mod N.
+#pragma once
+
+#include <cstddef>
+
+#include "bignum/bigint.h"
+#include "bignum/modarith.h"
+#include "common/serialize.h"
+#include "crypto/prg.h"
+
+namespace spfe::he {
+
+class PaillierPublicKey {
+ public:
+  explicit PaillierPublicKey(bignum::BigInt n);
+
+  const bignum::BigInt& n() const { return n_; }
+  const bignum::BigInt& n_squared() const { return n2_; }
+  std::size_t modulus_bits() const { return n_.bit_length(); }
+  // Serialized ciphertext size in bytes (fixed width).
+  std::size_t ciphertext_bytes() const { return (n2_.bit_length() + 7) / 8; }
+
+  // Encrypts m (reduced mod N) with fresh randomness from `prg`.
+  bignum::BigInt encrypt(const bignum::BigInt& m, crypto::Prg& prg) const;
+  // Deterministic encryption with explicit randomness r in Z_N^*.
+  bignum::BigInt encrypt_with_randomness(const bignum::BigInt& m,
+                                         const bignum::BigInt& r) const;
+
+  // E(a) * E(b) = E(a + b).
+  bignum::BigInt add(const bignum::BigInt& ca, const bignum::BigInt& cb) const;
+  // E(a)^c = E(c * a). Negative scalars use the group inverse.
+  bignum::BigInt mul_scalar(const bignum::BigInt& c, const bignum::BigInt& scalar) const;
+  // E(a) -> E(-a).
+  bignum::BigInt negate(const bignum::BigInt& c) const;
+  // Refreshes randomness without changing the plaintext.
+  bignum::BigInt rerandomize(const bignum::BigInt& c, crypto::Prg& prg) const;
+
+  void serialize(Writer& w) const;
+  static PaillierPublicKey deserialize(Reader& r);
+
+  bool operator==(const PaillierPublicKey& o) const { return n_ == o.n_; }
+
+ private:
+  bignum::BigInt n_;
+  bignum::BigInt n2_;
+  bignum::MontgomeryContext mont_n2_;
+};
+
+class PaillierPrivateKey {
+ public:
+  PaillierPrivateKey(bignum::BigInt p, bignum::BigInt q);
+
+  const PaillierPublicKey& public_key() const { return pk_; }
+
+  bignum::BigInt decrypt(const bignum::BigInt& c) const;
+  // Decrypts into the symmetric range (-N/2, N/2]; used by protocols that
+  // encode signed differences.
+  bignum::BigInt decrypt_signed(const bignum::BigInt& c) const;
+
+ private:
+  PaillierPublicKey pk_;
+  bignum::BigInt lambda_;  // lcm(p-1, q-1)
+  bignum::BigInt mu_;      // lambda^{-1} mod N
+};
+
+struct PaillierKeyPair {
+  PaillierPrivateKey sk;
+};
+
+// Generates a key with an N of `modulus_bits` bits (two primes of half size).
+PaillierPrivateKey paillier_keygen(crypto::Prg& prg, std::size_t modulus_bits);
+
+}  // namespace spfe::he

@@ -1,0 +1,73 @@
+// Yao garbled circuits ([46] in the paper) — garbling and evaluation.
+//
+// Implementation notes:
+//   - 128-bit wire labels; free-XOR (labels differ by a global offset R) so
+//     XOR/NOT/constant gates cost no table rows and no crypto;
+//   - point-and-permute: the low bit of each label is its permute bit
+//     (lsb(R) = 1 keeps the two labels of a wire distinguishable), so the
+//     evaluator decrypts exactly one of the four rows of an AND/OR table;
+//   - row encryption is KDF(La || Lb || gate-id) XOR label.
+// The garbled-circuit size is 4 * 16 bytes per nonfree gate — the concrete
+// O(kappa * C_f) term of Table 1.
+//
+// This module is pure (no networking): mpc/yao_protocol.h drives it over a
+// StarNetwork with OT, and psm/psm_yao.h reuses it with *shared* randomness
+// to build the computational PSM protocol of §3.2.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "circuits/boolean_circuit.h"
+#include "common/bytes.h"
+#include "common/serialize.h"
+#include "crypto/prg.h"
+
+namespace spfe::mpc {
+
+inline constexpr std::size_t kLabelBytes = 16;
+using Label = std::array<std::uint8_t, kLabelBytes>;
+
+Label xor_labels(const Label& a, const Label& b);
+bool label_lsb(const Label& l);
+
+// One wire's label pair; `l1 = l0 XOR R` under free-XOR.
+struct LabelPair {
+  Label l0;
+  Label l1;
+  const Label& get(bool v) const { return v ? l1 : l0; }
+};
+
+// Everything the evaluator needs except its own input labels.
+struct GarbledCircuit {
+  // 4 rows per nonfree (AND/OR) gate, in gate order.
+  std::vector<std::array<Label, 4>> tables;
+  // Active labels for constant wires, in constant-gate order.
+  std::vector<Label> const_labels;
+  // Per output wire: permute bit of the false label (output bit =
+  // lsb(active label) XOR decode bit).
+  std::vector<bool> output_decode;
+
+  Bytes serialize() const;
+  static GarbledCircuit deserialize(BytesView data);
+  std::size_t wire_size_bytes() const;
+};
+
+struct GarblingResult {
+  GarbledCircuit garbled;
+  std::vector<LabelPair> input_labels;  // one per circuit input wire
+};
+
+// Garbles `circuit` with randomness from `prg`. Garbling is deterministic
+// given the PRG stream — the property the PSM construction exploits.
+GarblingResult garble(const circuits::BooleanCircuit& circuit, crypto::Prg& prg);
+
+// Evaluates with one active label per input wire; returns the output bits.
+std::vector<bool> evaluate(const circuits::BooleanCircuit& circuit, const GarbledCircuit& gc,
+                           const std::vector<Label>& active_inputs);
+
+Bytes label_to_bytes(const Label& l);
+Label label_from_bytes(BytesView b);
+
+}  // namespace spfe::mpc

@@ -1,0 +1,82 @@
+#include "net/network.h"
+
+namespace spfe::net {
+
+StarNetwork::StarNetwork(std::size_t num_servers)
+    : to_server_(num_servers), to_client_(num_servers) {
+  if (num_servers == 0) throw InvalidArgument("StarNetwork: need at least one server");
+}
+
+void StarNetwork::check_server(std::size_t s) const {
+  if (s >= to_server_.size()) throw InvalidArgument("StarNetwork: server index out of range");
+}
+
+void StarNetwork::note_direction(Direction d) {
+  if (d != last_direction_) {
+    ++stats_.half_rounds;
+    last_direction_ = d;
+  }
+}
+
+void StarNetwork::client_send(std::size_t s, Bytes message) {
+  check_server(s);
+  note_direction(Direction::kClientToServer);
+  stats_.client_to_server_bytes += message.size();
+  ++stats_.client_to_server_messages;
+  to_server_[s].push_back(std::move(message));
+}
+
+void StarNetwork::server_send(std::size_t s, Bytes message) {
+  check_server(s);
+  note_direction(Direction::kServerToClient);
+  stats_.server_to_client_bytes += message.size();
+  ++stats_.server_to_client_messages;
+  to_client_[s].push_back(std::move(message));
+}
+
+Bytes StarNetwork::server_receive(std::size_t s) {
+  check_server(s);
+  if (to_server_[s].empty()) {
+    throw ProtocolError("StarNetwork: server expected a message but none pending");
+  }
+  Bytes m = std::move(to_server_[s].front());
+  to_server_[s].pop_front();
+  return m;
+}
+
+Bytes StarNetwork::client_receive(std::size_t s) {
+  check_server(s);
+  if (to_client_[s].empty()) {
+    throw ProtocolError("StarNetwork: client expected a message but none pending");
+  }
+  Bytes m = std::move(to_client_[s].front());
+  to_client_[s].pop_front();
+  return m;
+}
+
+bool StarNetwork::server_has_message(std::size_t s) const {
+  check_server(s);
+  return !to_server_[s].empty();
+}
+
+bool StarNetwork::client_has_message(std::size_t s) const {
+  check_server(s);
+  return !to_client_[s].empty();
+}
+
+bool StarNetwork::idle() const {
+  for (const auto& q : to_server_) {
+    if (!q.empty()) return false;
+  }
+  for (const auto& q : to_client_) {
+    if (!q.empty()) return false;
+  }
+  return true;
+}
+
+void StarNetwork::reset_stats() {
+  stats_ = CommStats{};
+  last_direction_ = Direction::kNone;
+}
+
+}  // namespace spfe::net

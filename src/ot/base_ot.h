@@ -1,0 +1,55 @@
+// Naor–Pinkas style 1-out-of-2 oblivious transfer.
+//
+// One-round flow (receiver speaks first), enabled by deriving the Naor–
+// Pinkas "C" element from a common reference string via hash-to-group, so
+// even a malicious receiver cannot know the discrete logs of both public
+// keys:
+//   receiver: k <- Z_q, PK_b = g^k, PK_{1-b} = C * PK_b^{-1}; sends PK_0
+//   sender:   PK_1 = C * PK_0^{-1}; for i in {0,1}: r_i <- Z_q,
+//             sends (g^{r_i}, H(PK_i^{r_i}) XOR m_i)
+//   receiver: m_b = H((g^{r_b})^k) XOR y_b
+// This is the paper's SPIR(2, 1, kappa) primitive — the per-input-bit cost
+// of Yao's protocol in Table 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bignum/bigint.h"
+#include "common/bytes.h"
+#include "crypto/prg.h"
+#include "ot/group.h"
+
+namespace spfe::ot {
+
+// Receiver-side secret state for one OT instance.
+struct OtReceiverState {
+  bool choice = false;
+  bignum::BigInt k;
+};
+
+// A batch of 1-of-2 OTs over the same group. Messages within a pair must
+// have equal length; different pairs may differ.
+class BaseOt {
+ public:
+  explicit BaseOt(SchnorrGroup group);
+
+  const SchnorrGroup& group() const { return group_; }
+
+  // Receiver: produces the query for `choices` and fills `states`.
+  Bytes make_query(const std::vector<bool>& choices, std::vector<OtReceiverState>& states,
+                   crypto::Prg& prg) const;
+
+  // Sender: answers a query with encryptions of the message pairs.
+  Bytes answer(BytesView query, const std::vector<std::pair<Bytes, Bytes>>& messages,
+               crypto::Prg& prg) const;
+
+  // Receiver: recovers the chosen message of each pair.
+  std::vector<Bytes> decode(BytesView answer, const std::vector<OtReceiverState>& states) const;
+
+ private:
+  SchnorrGroup group_;
+  bignum::BigInt crs_c_;  // hash-to-group CRS element
+};
+
+}  // namespace spfe::ot

@@ -1,0 +1,148 @@
+#include "ot/ot_extension.h"
+
+#include "common/error.h"
+#include "common/serialize.h"
+#include "crypto/kdf.h"
+
+namespace spfe::ot {
+namespace {
+
+constexpr std::size_t kSeedBytes = 16;
+
+Bytes expand_seed(BytesView seed, std::size_t column_bytes) {
+  return crypto::kdf_expand(seed, "spfe-iknp-prg", column_bytes);
+}
+
+bool get_bit(const Bytes& bits, std::size_t i) { return ((bits[i / 8] >> (i % 8)) & 1) != 0; }
+
+void set_bit(Bytes& bits, std::size_t i, bool v) {
+  if (v) {
+    bits[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  } else {
+    bits[i / 8] &= static_cast<std::uint8_t>(~(1u << (i % 8)));
+  }
+}
+
+// Row j of a column-major bit matrix with kappa columns.
+Bytes extract_row(const std::vector<Bytes>& columns, std::size_t j) {
+  Bytes row(kOtExtensionKappa / 8, 0);
+  for (std::size_t i = 0; i < columns.size(); ++i) set_bit(row, i, get_bit(columns[i], j));
+  return row;
+}
+
+Bytes row_hash(const Bytes& row, std::uint64_t j, std::size_t len) {
+  Writer key;
+  key.bytes(row);
+  key.u64(j);
+  return crypto::kdf_expand(key.data(), "spfe-iknp-hash", len);
+}
+
+}  // namespace
+
+OtExtensionSender::OtExtensionSender(SchnorrGroup group) : base_(std::move(group)) {}
+
+Bytes OtExtensionSender::start(crypto::Prg& prg) {
+  s_.resize(kOtExtensionKappa);
+  for (std::size_t i = 0; i < kOtExtensionKappa; ++i) s_[i] = prg.coin();
+  return base_.make_query(s_, base_states_, prg);
+}
+
+Bytes OtExtensionSender::answer(BytesView receiver_msg,
+                                const std::vector<std::pair<Bytes, Bytes>>& messages) {
+  if (s_.empty()) throw ProtocolError("OtExtensionSender: start() not called");
+  const std::size_t n = messages.size();
+  if (n == 0) throw InvalidArgument("OtExtensionSender: empty batch");
+  const std::size_t msg_len = messages[0].first.size();
+  for (const auto& [m0, m1] : messages) {
+    if (m0.size() != msg_len || m1.size() != msg_len) {
+      throw InvalidArgument("OtExtensionSender: batch messages must share one length");
+    }
+  }
+  const std::size_t column_bytes = (n + 7) / 8;
+
+  Reader r(receiver_msg);
+  const std::uint64_t claimed_n = r.varint();
+  if (claimed_n != n) throw ProtocolError("OtExtensionSender: batch size mismatch");
+  const Bytes base_answer = r.bytes();
+  std::vector<Bytes> u(kOtExtensionKappa);
+  for (auto& col : u) {
+    col = r.raw(column_bytes);
+  }
+  r.expect_done();
+
+  const std::vector<Bytes> seeds = base_.decode(base_answer, base_states_);
+
+  // q_i = PRG(k_i^{s_i}) xor (s_i ? u_i : 0)
+  std::vector<Bytes> q(kOtExtensionKappa);
+  for (std::size_t i = 0; i < kOtExtensionKappa; ++i) {
+    q[i] = expand_seed(seeds[i], column_bytes);
+    if (s_[i]) q[i] = xor_bytes(q[i], u[i]);
+  }
+
+  Bytes s_row(kOtExtensionKappa / 8, 0);
+  for (std::size_t i = 0; i < kOtExtensionKappa; ++i) set_bit(s_row, i, s_[i]);
+
+  Writer w;
+  w.varint(n);
+  w.varint(msg_len);
+  for (std::size_t j = 0; j < n; ++j) {
+    const Bytes q_row = extract_row(q, j);
+    const Bytes pad0 = row_hash(q_row, j, msg_len);
+    const Bytes pad1 = row_hash(xor_bytes(q_row, s_row), j, msg_len);
+    w.raw(xor_bytes(messages[j].first, pad0));
+    w.raw(xor_bytes(messages[j].second, pad1));
+  }
+  return w.take();
+}
+
+OtExtensionReceiver::OtExtensionReceiver(SchnorrGroup group, std::vector<bool> choices)
+    : base_(std::move(group)), choices_(std::move(choices)) {
+  if (choices_.empty()) throw InvalidArgument("OtExtensionReceiver: empty choice vector");
+}
+
+Bytes OtExtensionReceiver::respond(BytesView sender_msg, crypto::Prg& prg) {
+  const std::size_t n = choices_.size();
+  const std::size_t column_bytes = (n + 7) / 8;
+
+  Bytes r_bits(column_bytes, 0);
+  for (std::size_t j = 0; j < n; ++j) set_bit(r_bits, j, choices_[j]);
+
+  // Seed pairs for the base OTs (we act as base-OT *sender*).
+  std::vector<std::pair<Bytes, Bytes>> seed_pairs(kOtExtensionKappa);
+  t_columns_.assign(kOtExtensionKappa, {});
+  std::vector<Bytes> u(kOtExtensionKappa);
+  for (std::size_t i = 0; i < kOtExtensionKappa; ++i) {
+    seed_pairs[i] = {prg.bytes(kSeedBytes), prg.bytes(kSeedBytes)};
+    t_columns_[i] = expand_seed(seed_pairs[i].first, column_bytes);
+    const Bytes t1 = expand_seed(seed_pairs[i].second, column_bytes);
+    u[i] = xor_bytes(xor_bytes(t_columns_[i], t1), r_bits);
+  }
+
+  const Bytes base_answer = base_.answer(sender_msg, seed_pairs, prg);
+
+  Writer w;
+  w.varint(n);
+  w.bytes(base_answer);
+  for (const Bytes& col : u) w.raw(col);
+  return w.take();
+}
+
+std::vector<Bytes> OtExtensionReceiver::finish(BytesView sender_final) {
+  const std::size_t n = choices_.size();
+  Reader r(sender_final);
+  if (r.varint() != n) throw ProtocolError("OtExtensionReceiver: batch size mismatch");
+  const std::uint64_t msg_len = r.varint();
+  std::vector<Bytes> out;
+  out.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const Bytes y0 = r.raw(msg_len);
+    const Bytes y1 = r.raw(msg_len);
+    const Bytes t_row = extract_row(t_columns_, j);
+    const Bytes pad = row_hash(t_row, j, msg_len);
+    out.push_back(xor_bytes(choices_[j] ? y1 : y0, pad));
+  }
+  r.expect_done();
+  return out;
+}
+
+}  // namespace spfe::ot

@@ -1,0 +1,59 @@
+// IKNP oblivious-transfer extension (semi-honest).
+//
+// Turns kappa = 128 public-key base OTs into any number of fast symmetric-
+// key OTs. This is the practical substitute for invoking the Naor–Pinkas
+// protocol once per Yao input bit: the paper's MPC(m, s) cost term contains
+// m * SPIR(2,1,kappa), and extension amortizes that factor to cheap hashing.
+// bench_primitives ablates base-OT-per-bit against extension.
+//
+// Message flow (three half-rounds):
+//   sender   -> receiver : base-OT query for the sender's secret s
+//   receiver -> sender   : base-OT answer + correction matrix u
+//   sender   -> receiver : masked message pairs
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/prg.h"
+#include "ot/base_ot.h"
+
+namespace spfe::ot {
+
+inline constexpr std::size_t kOtExtensionKappa = 128;
+
+class OtExtensionSender {
+ public:
+  explicit OtExtensionSender(SchnorrGroup group);
+
+  // Phase 1: base-OT query embedding the random secret s.
+  Bytes start(crypto::Prg& prg);
+
+  // Phase 3: consumes the receiver's correction message and produces the
+  // masked pairs. All messages in the batch must share one length.
+  Bytes answer(BytesView receiver_msg, const std::vector<std::pair<Bytes, Bytes>>& messages);
+
+ private:
+  BaseOt base_;
+  std::vector<bool> s_;
+  std::vector<OtReceiverState> base_states_;
+};
+
+class OtExtensionReceiver {
+ public:
+  OtExtensionReceiver(SchnorrGroup group, std::vector<bool> choices);
+
+  // Phase 2: answers the sender's base OTs and sends the correction matrix.
+  Bytes respond(BytesView sender_msg, crypto::Prg& prg);
+
+  // Phase 4 (local): decodes the chosen messages.
+  std::vector<Bytes> finish(BytesView sender_final);
+
+ private:
+  BaseOt base_;
+  std::vector<bool> choices_;
+  std::vector<Bytes> t_columns_;  // T matrix columns, ceil(N/8) bytes each
+};
+
+}  // namespace spfe::ot

@@ -1,0 +1,229 @@
+#include "pir/cpir.h"
+
+#include <cmath>
+
+#include "bignum/serialize.h"
+#include "common/error.h"
+#include "common/serialize.h"
+
+namespace spfe::pir {
+
+using bignum::BigInt;
+
+namespace {
+
+std::vector<std::size_t> balanced_dims(std::size_t n, std::size_t depth) {
+  if (depth == 0 || depth > 4) throw InvalidArgument("PaillierPir: depth must be 1..4");
+  std::vector<std::size_t> dims(depth);
+  // Smallest d with d^depth >= n, then shrink trailing dims where possible.
+  std::size_t d = 1;
+  while (true) {
+    std::size_t prod = 1;
+    bool enough = false;
+    for (std::size_t j = 0; j < depth; ++j) {
+      prod *= d;
+      if (prod >= n) {
+        enough = true;
+        break;
+      }
+    }
+    if (enough) break;
+    ++d;
+  }
+  std::size_t remaining = n;
+  for (std::size_t j = 0; j < depth; ++j) {
+    dims[j] = d;
+    remaining = (remaining + d - 1) / d;
+  }
+  // Tighten the last dimensions to the residual count.
+  std::size_t count = n;
+  for (std::size_t j = 0; j + 1 < depth; ++j) count = (count + dims[j] - 1) / dims[j];
+  dims[depth - 1] = std::max<std::size_t>(count, 1);
+  return dims;
+}
+
+}  // namespace
+
+PaillierPir::PaillierPir(he::PaillierPublicKey pk, std::size_t n, std::size_t depth)
+    : pk_(std::move(pk)), n_(n), dims_(balanced_dims(n, depth)) {
+  if (n == 0) throw InvalidArgument("PaillierPir: empty database");
+}
+
+std::size_t PaillierPir::chunk_bytes() const {
+  // Chunks must stay below N with headroom for the fold's additions.
+  return (pk_.modulus_bits() - 16) / 8;
+}
+
+Bytes PaillierPir::make_query(std::size_t index, ClientState& state, crypto::Prg& prg) const {
+  if (index >= n_) throw InvalidArgument("PaillierPir: index out of range");
+  state.positions.clear();
+  Writer w;
+  std::size_t residual = index;
+  for (const std::size_t dim : dims_) {
+    const std::size_t pos = residual % dim;
+    residual /= dim;
+    state.positions.push_back(pos);
+    for (std::size_t r = 0; r < dim; ++r) {
+      w.raw(pk_.encrypt(BigInt(r == pos ? 1 : 0), prg)
+                .to_bytes_be_padded(pk_.ciphertext_bytes()));
+    }
+  }
+  return w.take();
+}
+
+Bytes PaillierPir::answer_chunks(std::vector<std::vector<BigInt>> items, BytesView query,
+                                 crypto::Prg& prg) const {
+  Reader r(query);
+  // Parse per-dimension selectors.
+  std::vector<std::vector<BigInt>> selectors(dims_.size());
+  for (std::size_t j = 0; j < dims_.size(); ++j) {
+    selectors[j].reserve(dims_[j]);
+    for (std::size_t i = 0; i < dims_[j]; ++i) {
+      selectors[j].push_back(BigInt::from_bytes_be(r.raw(pk_.ciphertext_bytes())));
+    }
+  }
+  r.expect_done();
+
+  const std::size_t cb = chunk_bytes();
+  for (std::size_t level = 0; level < dims_.size(); ++level) {
+    const std::size_t dim = dims_[level];
+    const std::size_t groups = (items.size() + dim - 1) / dim;
+    std::vector<std::vector<BigInt>> folded(groups);
+    const std::size_t chunks = items.empty() ? 0 : items[0].size();
+    for (std::size_t g = 0; g < groups; ++g) {
+      folded[g].resize(chunks);
+      for (std::size_t c = 0; c < chunks; ++c) {
+        BigInt acc = pk_.encrypt(BigInt(0), prg);
+        for (std::size_t row = 0; row < dim; ++row) {
+          const std::size_t idx = g * dim + row;
+          if (idx >= items.size()) break;
+          if (items[idx][c].is_zero()) continue;  // exponent 0 contributes nothing
+          acc = pk_.add(acc, pk_.mul_scalar(selectors[level][row], items[idx][c]));
+        }
+        folded[g][c] = std::move(acc);
+      }
+    }
+    if (level + 1 == dims_.size()) {
+      // Final level: emit the ciphertexts.
+      if (folded.size() != 1) throw InvalidArgument("PaillierPir: dimension mismatch");
+      Writer w;
+      w.varint(folded[0].size());
+      for (BigInt& ct : folded[0]) {
+        w.raw(pk_.rerandomize(ct, prg).to_bytes_be_padded(pk_.ciphertext_bytes()));
+      }
+      return w.take();
+    }
+    // Re-chunk the ciphertexts into plaintexts for the next level.
+    std::vector<std::vector<BigInt>> next(folded.size());
+    const std::size_t ct_bytes = pk_.ciphertext_bytes();
+    const std::size_t pieces = (ct_bytes + cb - 1) / cb;
+    for (std::size_t g = 0; g < folded.size(); ++g) {
+      next[g].reserve(folded[g].size() * pieces);
+      for (const BigInt& ct : folded[g]) {
+        const Bytes be = ct.to_bytes_be_padded(ct_bytes);
+        // Little-endian chunk order over big-endian bytes: chunk p covers
+        // bytes [ct_bytes - (p+1)*cb, ct_bytes - p*cb).
+        for (std::size_t p = 0; p < pieces; ++p) {
+          const std::size_t end = ct_bytes - p * cb;
+          const std::size_t begin = end > cb ? end - cb : 0;
+          next[g].push_back(BigInt::from_bytes_be(BytesView(be.data() + begin, end - begin)));
+        }
+      }
+    }
+    items = std::move(next);
+  }
+  throw InvalidArgument("PaillierPir: unreachable");
+}
+
+Bytes PaillierPir::answer_u64(std::span<const std::uint64_t> database, BytesView query,
+                              crypto::Prg& prg) const {
+  if (database.size() != n_) throw InvalidArgument("PaillierPir: database size mismatch");
+  std::vector<std::vector<BigInt>> items(n_);
+  for (std::size_t i = 0; i < n_; ++i) items[i] = {BigInt(database[i])};
+  return answer_chunks(std::move(items), query, prg);
+}
+
+Bytes PaillierPir::answer_bytes(std::span<const Bytes> database, std::size_t item_bytes,
+                                BytesView query, crypto::Prg& prg) const {
+  if (database.size() != n_) throw InvalidArgument("PaillierPir: database size mismatch");
+  const std::size_t cb = chunk_bytes();
+  const std::size_t pieces = (item_bytes + cb - 1) / cb;
+  std::vector<std::vector<BigInt>> items(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (database[i].size() != item_bytes) {
+      throw InvalidArgument("PaillierPir: item size mismatch");
+    }
+    items[i].reserve(pieces);
+    for (std::size_t p = 0; p < pieces; ++p) {
+      const std::size_t end = item_bytes - p * cb;
+      const std::size_t begin = end > cb ? end - cb : 0;
+      items[i].push_back(
+          BigInt::from_bytes_be(BytesView(database[i].data() + begin, end - begin)));
+    }
+  }
+  return answer_chunks(std::move(items), query, prg);
+}
+
+std::vector<BigInt> PaillierPir::decode_chunks(const he::PaillierPrivateKey& sk,
+                                               BytesView answer,
+                                               std::size_t level0_chunks) const {
+  Reader r(answer);
+  const std::uint64_t count = r.varint();
+  std::vector<BigInt> cts;
+  cts.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    cts.push_back(BigInt::from_bytes_be(r.raw(pk_.ciphertext_bytes())));
+  }
+  r.expect_done();
+
+  const std::size_t cb = chunk_bytes();
+  const std::size_t ct_bytes = pk_.ciphertext_bytes();
+  const std::size_t pieces = (ct_bytes + cb - 1) / cb;
+
+  // Peel recursion levels: decrypt, reassemble chunk groups into inner
+  // ciphertexts, repeat. After peeling depth-1 levels, `cts` holds the
+  // level-0 ciphertexts whose plaintexts are the item chunks.
+  for (std::size_t level = dims_.size(); level-- > 1;) {
+    std::vector<BigInt> plain;
+    plain.reserve(cts.size());
+    for (const BigInt& ct : cts) plain.push_back(sk.decrypt(ct));
+    if (plain.size() % pieces != 0) throw ProtocolError("PaillierPir: bad answer shape");
+    std::vector<BigInt> inner;
+    inner.reserve(plain.size() / pieces);
+    for (std::size_t g = 0; g < plain.size(); g += pieces) {
+      BigInt v;
+      for (std::size_t p = pieces; p-- > 0;) {
+        v = (v << (cb * 8)) + plain[g + p];
+      }
+      inner.push_back(std::move(v));
+    }
+    cts = std::move(inner);
+  }
+  if (cts.size() != level0_chunks) throw ProtocolError("PaillierPir: bad chunk count");
+  std::vector<BigInt> chunks;
+  chunks.reserve(cts.size());
+  for (const BigInt& ct : cts) chunks.push_back(sk.decrypt(ct));
+  return chunks;
+}
+
+std::uint64_t PaillierPir::decode_u64(const he::PaillierPrivateKey& sk, BytesView answer) const {
+  const std::vector<BigInt> chunks = decode_chunks(sk, answer, 1);
+  return chunks[0].to_u64();
+}
+
+Bytes PaillierPir::decode_bytes(const he::PaillierPrivateKey& sk, std::size_t item_bytes,
+                                BytesView answer) const {
+  const std::size_t cb = chunk_bytes();
+  const std::size_t pieces = (item_bytes + cb - 1) / cb;
+  const std::vector<BigInt> chunks = decode_chunks(sk, answer, pieces);
+  Bytes out(item_bytes, 0);
+  for (std::size_t p = 0; p < pieces; ++p) {
+    const std::size_t end = item_bytes - p * cb;
+    const std::size_t begin = end > cb ? end - cb : 0;
+    const Bytes be = chunks[p].to_bytes_be_padded(end - begin);
+    std::copy(be.begin(), be.end(), out.begin() + static_cast<std::ptrdiff_t>(begin));
+  }
+  return out;
+}
+
+}  // namespace spfe::pir

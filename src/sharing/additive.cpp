@@ -1,0 +1,53 @@
+#include "sharing/additive.h"
+
+namespace spfe::sharing {
+namespace {
+
+std::uint64_t add_mod(std::uint64_t a, std::uint64_t b, std::uint64_t u) {
+  // a, b < u < 2^64; use __int128 to avoid overflow for large u.
+  return static_cast<std::uint64_t>((static_cast<unsigned __int128>(a) + b) % u);
+}
+
+void check_modulus(std::uint64_t u) {
+  if (u < 2) throw InvalidArgument("additive sharing: modulus must be >= 2");
+}
+
+}  // namespace
+
+AdditivePair additive_split(std::uint64_t secret, std::uint64_t modulus, crypto::Prg& prg) {
+  check_modulus(modulus);
+  AdditivePair p;
+  p.server_share = prg.uniform(modulus);
+  const std::uint64_t s = secret % modulus;
+  p.client_share = add_mod(s, modulus - p.server_share, modulus);
+  return p;
+}
+
+std::uint64_t additive_combine(std::uint64_t a, std::uint64_t b, std::uint64_t modulus) {
+  check_modulus(modulus);
+  return add_mod(a % modulus, b % modulus, modulus);
+}
+
+std::vector<std::uint64_t> additive_split_k(std::uint64_t secret, std::uint64_t modulus,
+                                            std::size_t k, crypto::Prg& prg) {
+  check_modulus(modulus);
+  if (k == 0) throw InvalidArgument("additive_split_k: need at least one share");
+  std::vector<std::uint64_t> shares(k);
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i + 1 < k; ++i) {
+    shares[i] = prg.uniform(modulus);
+    sum = add_mod(sum, shares[i], modulus);
+  }
+  shares[k - 1] = add_mod(secret % modulus, modulus - sum, modulus);
+  return shares;
+}
+
+std::uint64_t additive_combine_k(const std::vector<std::uint64_t>& shares,
+                                 std::uint64_t modulus) {
+  check_modulus(modulus);
+  std::uint64_t sum = 0;
+  for (const std::uint64_t s : shares) sum = add_mod(sum, s % modulus, modulus);
+  return sum;
+}
+
+}  // namespace spfe::sharing

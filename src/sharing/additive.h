@@ -1,0 +1,30 @@
+// Additive secret sharing over Z_u (the sharing format produced by all three
+// input-selection protocols of §3.3 and consumed by the MPC phase).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+#include "crypto/prg.h"
+
+namespace spfe::sharing {
+
+// A 2-party additive share pair: server_share + client_share = secret (mod u).
+struct AdditivePair {
+  std::uint64_t server_share = 0;
+  std::uint64_t client_share = 0;
+};
+
+// Splits `secret` (reduced mod u) into a uniform pair.
+AdditivePair additive_split(std::uint64_t secret, std::uint64_t modulus, crypto::Prg& prg);
+
+// Recombines a pair.
+std::uint64_t additive_combine(std::uint64_t a, std::uint64_t b, std::uint64_t modulus);
+
+// k-party split: returns k uniform shares summing to secret mod u.
+std::vector<std::uint64_t> additive_split_k(std::uint64_t secret, std::uint64_t modulus,
+                                            std::size_t k, crypto::Prg& prg);
+std::uint64_t additive_combine_k(const std::vector<std::uint64_t>& shares, std::uint64_t modulus);
+
+}  // namespace spfe::sharing

@@ -1,0 +1,58 @@
+// Shamir secret sharing over any FieldLike field.
+//
+// Shares live at fixed public abscissae alpha_h (h = 1..k); reconstruction
+// interpolates at 0. The §3.1 multi-server protocol uses the same math
+// through field::Polynomial directly (it shares *vectors* along a curve);
+// this module packages the single-secret case for the IT-PIR servers and
+// fault-tolerance extensions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.h"
+#include "field/field.h"
+#include "field/polynomial.h"
+
+namespace spfe::sharing {
+
+template <field::FieldLike F>
+struct ShamirShare {
+  typename F::value_type x;  // abscissa (public)
+  typename F::value_type y;  // share value
+};
+
+// Splits `secret` into k shares with threshold t: any t shares reveal
+// nothing; any t+1 reconstruct. Requires k > t and field order > k.
+template <field::FieldLike F>
+std::vector<ShamirShare<F>> shamir_split(const F& field, const typename F::value_type& secret,
+                                         std::size_t k, std::size_t t, crypto::Prg& prg) {
+  if (k <= t) throw InvalidArgument("shamir_split: need more shares than threshold");
+  const auto poly = field::Polynomial<F>::random_with_constant(field, t, secret, prg);
+  std::vector<ShamirShare<F>> shares;
+  shares.reserve(k);
+  for (std::size_t h = 1; h <= k; ++h) {
+    const auto x = field.from_u64(h);
+    shares.push_back({x, poly.eval(x)});
+  }
+  return shares;
+}
+
+// Reconstructs the secret from >= t+1 shares (any subset works as long as
+// it determines the degree-t polynomial; passing fewer shares than were
+// required yields an incorrect value, not an error — threshold bookkeeping
+// is the caller's job).
+template <field::FieldLike F>
+typename F::value_type shamir_reconstruct(const F& field,
+                                          const std::vector<ShamirShare<F>>& shares) {
+  std::vector<typename F::value_type> xs, ys;
+  xs.reserve(shares.size());
+  ys.reserve(shares.size());
+  for (const auto& s : shares) {
+    xs.push_back(s.x);
+    ys.push_back(s.y);
+  }
+  return field::interpolate_at(field, xs, ys, field.zero());
+}
+
+}  // namespace spfe::sharing

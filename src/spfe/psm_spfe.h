@@ -1,0 +1,142 @@
+// §3.2 — one-round SPFE from PSM protocols + SPIR over virtual databases
+// (Theorem 3 / Corollary 4).
+//
+// The servers simulate the m+1 PSM players: for each argument slot j, a
+// server materializes the virtual database V_j[i] = (player j's PSM message
+// on input x_i) and the client retrieves V_j[i_j] with SPIR; the extra
+// message p0 travels in the clear. The client reconstructs f from the m+1
+// PSM messages. Communication: m * SPIR(n, 1, alpha) + beta — the first row
+// of Table 1.
+//
+// Strong security against a malicious client follows from the PSM privacy
+// plus the SPIR guarantee: the client obtains one message per player, hence
+// exactly one evaluation of f.
+//
+// Instantiations:
+//   - PsmSumSpfeSingleServer  : sum PSM + Paillier SPIR     (Corollary 4(1))
+//   - PsmYaoSpfeSingleServer  : Yao PSM + Paillier SPIR     (Corollary 4(1))
+//   - PsmSumSpfeMultiServer   : sum PSM + t-private IT SPIR (Corollary 4(2))
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuits/boolean_circuit.h"
+#include "common/bytes.h"
+#include "crypto/prg.h"
+#include "field/fp64.h"
+#include "he/paillier.h"
+#include "net/network.h"
+#include "pir/cpir.h"
+#include "pir/itpir.h"
+#include "circuits/branching_program.h"
+#include "psm/psm.h"
+#include "psm/psm_bp.h"
+
+namespace spfe::protocols {
+
+class PsmSumSpfeSingleServer {
+ public:
+  // Sum of m selected items mod `modulus`; SPIR = PaillierPir at `pir_depth`.
+  PsmSumSpfeSingleServer(he::PaillierPublicKey pk, std::size_t n, std::size_t m,
+                         std::uint64_t modulus, std::size_t pir_depth);
+
+  // One-round exchange over `net` (server 0 holds the database).
+  std::uint64_t run(net::StarNetwork& net, std::span<const std::uint64_t> database,
+                    const std::vector<std::size_t>& indices, const he::PaillierPrivateKey& sk,
+                    crypto::Prg& client_prg, crypto::Prg& server_prg) const;
+
+ private:
+  he::PaillierPublicKey pk_;
+  std::size_t n_;
+  std::size_t m_;
+  psm::SumPsm psm_;
+  std::size_t pir_depth_;
+};
+
+class PsmYaoSpfeSingleServer {
+ public:
+  // f given as a Boolean circuit over m items of `bits_per_item` bits; the
+  // circuit input layout matches psm::YaoPsm.
+  PsmYaoSpfeSingleServer(he::PaillierPublicKey pk, const circuits::BooleanCircuit& circuit,
+                         std::size_t n, std::size_t m, std::size_t bits_per_item,
+                         std::size_t pir_depth);
+
+  std::vector<bool> run(net::StarNetwork& net, std::span<const std::uint64_t> database,
+                        const std::vector<std::size_t>& indices,
+                        const he::PaillierPrivateKey& sk, crypto::Prg& client_prg,
+                        crypto::Prg& server_prg) const;
+
+ private:
+  he::PaillierPublicKey pk_;
+  std::size_t n_;
+  std::size_t m_;
+  psm::YaoPsm psm_;
+  std::size_t pir_depth_;
+};
+
+class PsmBpSpfeSingleServer {
+ public:
+  // f given as a mod-2 branching program whose argument j is the j-th
+  // selected item (item values must fit the BP's literal bit indices).
+  // Computational SPIR, *perfectly* secure PSM layer.
+  PsmBpSpfeSingleServer(he::PaillierPublicKey pk, circuits::BranchingProgram bp, std::size_t n,
+                        std::size_t pir_depth);
+
+  bool run(net::StarNetwork& net, std::span<const std::uint64_t> database,
+           const std::vector<std::size_t>& indices, const he::PaillierPrivateKey& sk,
+           crypto::Prg& client_prg, crypto::Prg& server_prg) const;
+
+ private:
+  he::PaillierPublicKey pk_;
+  std::size_t n_;
+  psm::BpPsm psm_;
+  std::size_t pir_depth_;
+};
+
+class PsmBpSpfeMultiServer {
+ public:
+  // The fully information-theoretic instantiation of Corollary 4(2):
+  // perfectly secure BP-PSM + t-private IT SPIR (message bytes retrieved as
+  // 7-byte field chunks). Both client privacy and database secrecy are
+  // unconditional.
+  PsmBpSpfeMultiServer(field::Fp64 field, circuits::BranchingProgram bp, std::size_t n,
+                       std::size_t num_servers, std::size_t threshold);
+
+  std::size_t num_servers() const { return k_; }
+
+  bool run(net::StarNetwork& net, std::span<const std::uint64_t> database,
+           const std::vector<std::size_t>& indices, crypto::Prg& client_prg,
+           crypto::Prg& server_prg) const;
+
+ private:
+  field::Fp64 field_;
+  std::size_t n_;
+  psm::BpPsm psm_;
+  std::size_t k_;
+  std::size_t t_;
+};
+
+class PsmSumSpfeMultiServer {
+ public:
+  // t-private k-server variant with information-theoretic SPIR; requires
+  // modulus <= field order and k > t * ceil(log2 n).
+  PsmSumSpfeMultiServer(field::Fp64 field, std::size_t n, std::size_t m, std::uint64_t modulus,
+                        std::size_t num_servers, std::size_t threshold);
+
+  std::size_t num_servers() const { return k_; }
+
+  std::uint64_t run(net::StarNetwork& net, std::span<const std::uint64_t> database,
+                    const std::vector<std::size_t>& indices, crypto::Prg& client_prg,
+                    crypto::Prg& server_prg) const;
+
+ private:
+  field::Fp64 field_;
+  std::size_t n_;
+  std::size_t m_;
+  psm::SumPsm psm_;
+  std::size_t k_;
+  std::size_t t_;
+};
+
+}  // namespace spfe::protocols

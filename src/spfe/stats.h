@@ -1,0 +1,109 @@
+// §4 — protocols tailored to private statistics.
+//
+// WeightedSumProtocol (the paper's "efficient solution for the weighted sum
+// function", one round):
+//   - server masks the database with a random degree-(m-1) polynomial P_s
+//     and answers one SPIR(n, m, F) query over x'_i = x_i + P_s(i);
+//   - in parallel the client sends E(c_0..c_{m-1}) under its own key, where
+//     c_k = sum_j w_j i_j^k, and the server replies with
+//     E(sum_k s_k c_k) = E(sum_j w_j P_s(i_j)) (blinded into the positive
+//     range);
+//   - the client outputs sum_j w_j x'_{i_j} - sum_j w_j P_s(i_j).
+//   By the paper's counting argument, even a malicious client learns only
+//   *some* linear combination of m items (weak security).
+//
+// MeanVariancePackage: the §4 "package" — the server holds the squares
+// database x''_i = x_i^2 alongside x and answers the same selection twice
+// (independent mask polynomials), yielding sum and sum-of-squares, from
+// which the client derives mean and variance. Still one round.
+//
+// FrequencyProtocol: counts occurrences of a keyword w among the selected
+// items. After any input-selection phase (shares a_j + b_j = x_{i_j} mod p),
+// one extra round: the client sends E(b_j - w + p), the server returns a
+// random permutation of E(rho_j * (x_{i_j} - w) + p * sigma_j); the client
+// counts decryptions divisible by p. A malicious client can only substitute
+// a different keyword per item (the paper's closing remark).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/prg.h"
+#include "field/fp64.h"
+#include "he/paillier.h"
+#include "net/network.h"
+#include "spfe/input_selection.h"
+#include "spfe/two_phase.h"
+
+namespace spfe::protocols {
+
+class WeightedSumProtocol {
+ public:
+  // Field modulus must exceed n and the maximum weighted sum; database
+  // values and weights are field elements.
+  WeightedSumProtocol(field::Fp64 field, std::size_t n, std::size_t m, std::size_t pir_depth);
+
+  // One-round run; returns sum_j weights[j] * x_{indices[j]} mod p.
+  std::uint64_t run(net::StarNetwork& net, std::size_t server_id,
+                    std::span<const std::uint64_t> database,
+                    const std::vector<std::size_t>& indices,
+                    const std::vector<std::uint64_t>& weights,
+                    const he::PaillierPrivateKey& client_sk, crypto::Prg& client_prg,
+                    crypto::Prg& server_prg) const;
+
+ private:
+  field::Fp64 field_;
+  std::size_t n_;
+  std::size_t m_;
+  std::size_t pir_depth_;
+};
+
+struct MeanVarianceResult {
+  std::uint64_t sum = 0;
+  std::uint64_t sum_of_squares = 0;
+  double mean = 0.0;
+  double variance = 0.0;  // population variance of the selected items
+};
+
+class MeanVariancePackage {
+ public:
+  // Field must exceed n and m * max(x)^2.
+  MeanVariancePackage(field::Fp64 field, std::size_t n, std::size_t m, std::size_t pir_depth);
+
+  MeanVarianceResult run(net::StarNetwork& net, std::size_t server_id,
+                         std::span<const std::uint64_t> database,
+                         const std::vector<std::size_t>& indices,
+                         const he::PaillierPrivateKey& client_sk, crypto::Prg& client_prg,
+                         crypto::Prg& server_prg) const;
+
+ private:
+  field::Fp64 field_;
+  std::size_t n_;
+  std::size_t m_;
+  std::size_t pir_depth_;
+};
+
+class FrequencyProtocol {
+ public:
+  // Keyword domain embedded in the prime field; `method` chooses the
+  // input-selection phase.
+  FrequencyProtocol(field::Fp64 field, std::size_t n, std::size_t m, SelectionMethod method,
+                    std::size_t pir_depth);
+
+  // Returns |{j : x_{indices[j]} == keyword}|.
+  std::size_t run(net::StarNetwork& net, std::size_t server_id,
+                  std::span<const std::uint64_t> database,
+                  const std::vector<std::size_t>& indices, std::uint64_t keyword,
+                  const he::PaillierPrivateKey& client_sk,
+                  const he::PaillierPrivateKey& server_sk, crypto::Prg& client_prg,
+                  crypto::Prg& server_prg) const;
+
+ private:
+  field::Fp64 field_;
+  std::size_t n_;
+  std::size_t m_;
+  SelectionMethod method_;
+  std::size_t pir_depth_;
+};
+
+}  // namespace spfe::protocols

@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "circuits/arith_circuit.h"
+#include "circuits/boolean_circuit.h"
+#include "circuits/formula.h"
+#include "common/error.h"
+#include "field/fp64.h"
+
+namespace spfe::circuits {
+namespace {
+
+using field::Fp64;
+
+std::vector<bool> to_bits(std::uint64_t v, std::size_t width) {
+  std::vector<bool> bits(width);
+  for (std::size_t i = 0; i < width; ++i) bits[i] = ((v >> i) & 1) != 0;
+  return bits;
+}
+
+std::uint64_t from_bits(const std::vector<bool>& bits) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) v |= std::uint64_t(1) << i;
+  }
+  return v;
+}
+
+// ---- Formula ----------------------------------------------------------------
+
+TEST(Formula, BasicEval) {
+  const Formula f = Formula::f_or(Formula::f_and(Formula::leaf(0), Formula::leaf(1)),
+                                  Formula::f_not(Formula::leaf(2)));
+  EXPECT_TRUE(f.eval({true, true, true}));
+  EXPECT_FALSE(f.eval({false, true, true}));
+  EXPECT_TRUE(f.eval({false, false, false}));
+  EXPECT_EQ(f.size(), 3u);
+  EXPECT_EQ(f.arity(), 3u);
+}
+
+TEST(Formula, ParseMatchesManualConstruction) {
+  const Formula f = Formula::parse("(x0 & x1) | ~x2");
+  for (int mask = 0; mask < 8; ++mask) {
+    const std::vector<bool> args = to_bits(static_cast<std::uint64_t>(mask), 3);
+    const bool expect = (args[0] && args[1]) || !args[2];
+    EXPECT_EQ(f.eval(args), expect) << "mask=" << mask;
+  }
+}
+
+TEST(Formula, ParsePrecedence) {
+  // ~ > & > ^ > |
+  const Formula f = Formula::parse("x0 | x1 ^ x2 & ~x3");
+  for (int mask = 0; mask < 16; ++mask) {
+    const auto args = to_bits(static_cast<std::uint64_t>(mask), 4);
+    const bool expect = args[0] || (args[1] != (args[2] && !args[3]));
+    EXPECT_EQ(f.eval(args), expect) << "mask=" << mask;
+  }
+}
+
+TEST(Formula, ParseErrors) {
+  EXPECT_THROW(Formula::parse(""), InvalidArgument);
+  EXPECT_THROW(Formula::parse("x"), InvalidArgument);
+  EXPECT_THROW(Formula::parse("(x0"), InvalidArgument);
+  EXPECT_THROW(Formula::parse("x0 x1"), InvalidArgument);
+  EXPECT_THROW(Formula::parse("y0"), InvalidArgument);
+}
+
+TEST(Formula, Trees) {
+  const Formula a = Formula::and_tree(5);
+  EXPECT_EQ(a.size(), 5u);
+  EXPECT_TRUE(a.eval({true, true, true, true, true}));
+  EXPECT_FALSE(a.eval({true, true, false, true, true}));
+
+  const Formula p = Formula::parity(4);
+  EXPECT_FALSE(p.eval({false, false, false, false}));
+  EXPECT_TRUE(p.eval({true, false, false, false}));
+  EXPECT_FALSE(p.eval({true, true, false, false}));
+}
+
+TEST(Formula, ArithmetizedAgreesOnBooleanInputs) {
+  const Fp64 f(1009);
+  const Formula formulas[] = {
+      Formula::parse("x0 & x1"), Formula::parse("x0 | x1"), Formula::parse("x0 ^ x1"),
+      Formula::parse("~x0"), Formula::parse("((x0 & x1) | ~x2) ^ (x1 & ~x3)")};
+  for (const Formula& formula : formulas) {
+    const std::size_t arity = formula.arity();
+    for (std::uint64_t mask = 0; mask < (std::uint64_t(1) << arity); ++mask) {
+      const auto args = to_bits(mask, arity);
+      std::vector<std::uint64_t> leaf_values(arity);
+      for (std::size_t i = 0; i < arity; ++i) leaf_values[i] = args[i] ? 1 : 0;
+      const std::uint64_t got = formula.eval_arithmetized(f, leaf_values);
+      EXPECT_EQ(got, formula.eval(args) ? 1u : 0u)
+          << formula.to_string() << " mask=" << mask;
+    }
+  }
+}
+
+TEST(Formula, ArithDegree) {
+  EXPECT_EQ(Formula::leaf(0).arith_degree(10), 10u);
+  EXPECT_EQ(Formula::parse("x0 & x1").arith_degree(10), 20u);
+  EXPECT_EQ(Formula::parse("~x0").arith_degree(10), 10u);
+  EXPECT_EQ(Formula::parse("(x0 & x1) ^ x2").arith_degree(10), 30u);
+  EXPECT_EQ(Formula::constant(true).arith_degree(10), 0u);
+}
+
+// ---- BooleanCircuit ---------------------------------------------------------
+
+TEST(BooleanCircuit, GateEval) {
+  BooleanCircuit c(2);
+  const WireId x = c.input(0), y = c.input(1);
+  c.add_output(c.xor_gate(x, y));
+  c.add_output(c.and_gate(x, y));
+  c.add_output(c.or_gate(x, y));
+  c.add_output(c.not_gate(x));
+  c.add_output(c.const_wire(true));
+  for (int mask = 0; mask < 4; ++mask) {
+    const bool a = mask & 1, b = mask & 2;
+    const auto out = c.eval({a, b});
+    EXPECT_EQ(out[0], a != b);
+    EXPECT_EQ(out[1], a && b);
+    EXPECT_EQ(out[2], a || b);
+    EXPECT_EQ(out[3], !a);
+    EXPECT_TRUE(out[4]);
+  }
+}
+
+TEST(BooleanCircuit, WireValidation) {
+  BooleanCircuit c(1);
+  EXPECT_THROW(c.input(1), InvalidArgument);
+  EXPECT_THROW(c.xor_gate(0, 99), InvalidArgument);
+  EXPECT_THROW(c.add_output(99), InvalidArgument);
+  EXPECT_THROW(c.eval({true, false}), InvalidArgument);
+}
+
+TEST(BooleanCircuit, AddModExhaustive) {
+  constexpr std::size_t kW = 4;
+  BooleanCircuit c(2 * kW);
+  WireBundle a, b;
+  for (std::size_t i = 0; i < kW; ++i) a.push_back(c.input(i));
+  for (std::size_t i = 0; i < kW; ++i) b.push_back(c.input(kW + i));
+  c.add_outputs(build_add_mod(c, a, b));
+  for (std::uint64_t x = 0; x < 16; ++x) {
+    for (std::uint64_t y = 0; y < 16; ++y) {
+      std::vector<bool> in = to_bits(x, kW);
+      const auto yb = to_bits(y, kW);
+      in.insert(in.end(), yb.begin(), yb.end());
+      EXPECT_EQ(from_bits(c.eval(in)), (x + y) % 16) << x << "+" << y;
+    }
+  }
+}
+
+TEST(BooleanCircuit, AddFullWidth) {
+  constexpr std::size_t kW = 5;
+  BooleanCircuit c(2 * kW);
+  WireBundle a, b;
+  for (std::size_t i = 0; i < kW; ++i) a.push_back(c.input(i));
+  for (std::size_t i = 0; i < kW; ++i) b.push_back(c.input(kW + i));
+  c.add_outputs(build_add(c, a, b));
+  for (std::uint64_t x : {0ull, 1ull, 15ull, 31ull}) {
+    for (std::uint64_t y : {0ull, 1ull, 16ull, 31ull}) {
+      std::vector<bool> in = to_bits(x, kW);
+      const auto yb = to_bits(y, kW);
+      in.insert(in.end(), yb.begin(), yb.end());
+      EXPECT_EQ(from_bits(c.eval(in)), x + y);
+    }
+  }
+}
+
+TEST(BooleanCircuit, EqConst) {
+  constexpr std::size_t kW = 6;
+  BooleanCircuit c(kW);
+  WireBundle a;
+  for (std::size_t i = 0; i < kW; ++i) a.push_back(c.input(i));
+  c.add_output(build_eq_const(c, a, 37));
+  for (std::uint64_t x = 0; x < 64; ++x) {
+    EXPECT_EQ(c.eval(to_bits(x, kW))[0], x == 37) << x;
+  }
+  EXPECT_THROW(build_eq_const(c, a, 64), InvalidArgument);
+}
+
+TEST(BooleanCircuit, EqAndLessThan) {
+  constexpr std::size_t kW = 4;
+  BooleanCircuit c(2 * kW);
+  WireBundle a, b;
+  for (std::size_t i = 0; i < kW; ++i) a.push_back(c.input(i));
+  for (std::size_t i = 0; i < kW; ++i) b.push_back(c.input(kW + i));
+  c.add_output(build_eq(c, a, b));
+  c.add_output(build_less_than(c, a, b));
+  for (std::uint64_t x = 0; x < 16; ++x) {
+    for (std::uint64_t y = 0; y < 16; ++y) {
+      std::vector<bool> in = to_bits(x, kW);
+      const auto yb = to_bits(y, kW);
+      in.insert(in.end(), yb.begin(), yb.end());
+      const auto out = c.eval(in);
+      EXPECT_EQ(out[0], x == y) << x << " vs " << y;
+      EXPECT_EQ(out[1], x < y) << x << " vs " << y;
+    }
+  }
+}
+
+TEST(BooleanCircuit, Popcount) {
+  constexpr std::size_t kN = 9;
+  BooleanCircuit c(kN);
+  std::vector<WireId> bits;
+  for (std::size_t i = 0; i < kN; ++i) bits.push_back(c.input(i));
+  c.add_outputs(build_popcount(c, bits));
+  for (std::uint64_t mask = 0; mask < (1u << kN); ++mask) {
+    const auto in = to_bits(mask, kN);
+    EXPECT_EQ(from_bits(c.eval(in)), static_cast<std::uint64_t>(std::popcount(mask)));
+  }
+}
+
+TEST(BooleanCircuit, Mux) {
+  BooleanCircuit c(5);
+  const WireBundle a = {c.input(0), c.input(1)};
+  const WireBundle b = {c.input(2), c.input(3)};
+  c.add_outputs(build_mux(c, c.input(4), a, b));
+  // sel=1 -> a, sel=0 -> b.
+  EXPECT_EQ(from_bits(c.eval({true, false, false, true, true})), 1u);
+  EXPECT_EQ(from_bits(c.eval({true, false, false, true, false})), 2u);
+}
+
+TEST(BooleanCircuit, NonfreeGateCount) {
+  BooleanCircuit c(2);
+  c.xor_gate(0, 1);
+  c.and_gate(0, 1);
+  c.or_gate(0, 1);
+  c.not_gate(0);
+  EXPECT_EQ(c.nonfree_gate_count(), 2u);
+  EXPECT_EQ(c.size(), 4u);
+}
+
+// ---- ArithCircuit -----------------------------------------------------------
+
+TEST(ArithCircuit, GateEval) {
+  ArithCircuit c(2, 97);
+  const auto x = c.input(0), y = c.input(1);
+  c.add_output(c.add(x, y));
+  c.add_output(c.sub(x, y));
+  c.add_output(c.mul(x, y));
+  c.add_output(c.mul_const(x, 10));
+  c.add_output(c.constant(42));
+  const auto out = c.eval({50, 60});
+  EXPECT_EQ(out[0], 13u);  // 110 mod 97
+  EXPECT_EQ(out[1], (50 + 97 - 60) % 97);
+  EXPECT_EQ(out[2], 50 * 60 % 97);
+  EXPECT_EQ(out[3], 500 % 97);
+  EXPECT_EQ(out[4], 42u);
+}
+
+TEST(ArithCircuit, LargeModulus) {
+  const std::uint64_t u = (std::uint64_t(1) << 62) + 1;
+  ArithCircuit c(2, u);
+  c.add_output(c.mul(c.input(0), c.input(1)));
+  const std::uint64_t a = u - 2, b = u - 3;
+  // (u-2)(u-3) mod u = 6
+  EXPECT_EQ(c.eval({a, b})[0], 6u);
+}
+
+TEST(ArithCircuit, SumBuilder) {
+  const auto c = ArithCircuit::sum(4, 1000);
+  EXPECT_EQ(c.eval({1, 2, 3, 4})[0], 10u);
+  EXPECT_EQ(c.eval({999, 1, 0, 0})[0], 0u);
+  EXPECT_EQ(c.mul_gate_count(), 0u);
+  EXPECT_EQ(c.mult_depth(), 0u);
+}
+
+TEST(ArithCircuit, WeightedSumBuilder) {
+  const auto c = ArithCircuit::weighted_sum({2, 3, 5}, 1000);
+  EXPECT_EQ(c.eval({1, 1, 1})[0], 10u);
+  EXPECT_EQ(c.eval({10, 0, 100})[0], 520u);
+  EXPECT_EQ(c.mult_depth(), 0u);  // constant mults are free
+}
+
+TEST(ArithCircuit, SumAndSumOfSquares) {
+  const auto c = ArithCircuit::sum_and_sum_of_squares(3, 100000);
+  const auto out = c.eval({3, 4, 5});
+  EXPECT_EQ(out[0], 12u);
+  EXPECT_EQ(out[1], 9u + 16 + 25);
+  EXPECT_EQ(c.mult_depth(), 1u);
+  EXPECT_EQ(c.mul_gate_count(), 3u);
+}
+
+TEST(ArithCircuit, InnerProduct) {
+  const auto c = ArithCircuit::inner_product(3, 100000);
+  EXPECT_EQ(c.eval({1, 2, 3, 4, 5, 6})[0], 4u + 10 + 18);
+}
+
+TEST(ArithCircuit, SumSquaredDeviation) {
+  const auto c = ArithCircuit::sum_squared_deviation(3, 10, 100000);
+  EXPECT_EQ(c.eval({10, 12, 7})[0], 0u + 4 + 9);
+}
+
+TEST(ArithCircuit, Validation) {
+  EXPECT_THROW(ArithCircuit(1, 1), InvalidArgument);
+  ArithCircuit c(1, 10);
+  EXPECT_THROW(c.input(1), InvalidArgument);
+  EXPECT_THROW(c.add(0, 5), InvalidArgument);
+  EXPECT_THROW(c.eval({1, 2}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace spfe::circuits

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "crypto/chacha20.h"
+#include "crypto/kdf.h"
+#include "crypto/prg.h"
+#include "crypto/sha256.h"
+
+namespace spfe::crypto {
+namespace {
+
+Bytes ascii(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+// FIPS 180-4 test vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex_encode(Sha256::hash_bytes({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex_encode(Sha256::hash_bytes(ascii("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex_encode(Sha256::hash_bytes(
+                ascii("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  const auto d = h.finish();
+  EXPECT_EQ(hex_encode(Bytes(d.begin(), d.end())),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const Bytes msg = ascii("the quick brown fox jumps over the lazy dog");
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(BytesView(msg.data(), split));
+    h.update(BytesView(msg.data() + split, msg.size() - split));
+    EXPECT_EQ(h.finish(), Sha256::hash(msg)) << "split=" << split;
+  }
+}
+
+// RFC 8439 section 2.3.2 test vector.
+TEST(ChaCha20, Rfc8439BlockVector) {
+  std::array<std::uint8_t, 32> key;
+  for (int i = 0; i < 32; ++i) key[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  const std::array<std::uint8_t, 12> nonce = {0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0};
+  ChaCha20 c(key, nonce);
+  std::uint8_t block[64];
+  c.block(1, block);
+  EXPECT_EQ(hex_encode(BytesView(block, 64)),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+// RFC 8439 section 2.4.2 encryption vector.
+TEST(ChaCha20, Rfc8439EncryptVector) {
+  std::array<std::uint8_t, 32> key;
+  for (int i = 0; i < 32; ++i) key[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  const std::array<std::uint8_t, 12> nonce = {0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0};
+  ChaCha20 c(key, nonce, 1);
+  const Bytes pt = ascii(
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.");
+  const Bytes ct = c.process(pt);
+  EXPECT_EQ(hex_encode(BytesView(ct.data(), 16)), "6e2e359a2568f98041ba0728dd0d6981");
+  // Decrypt round-trips.
+  ChaCha20 c2(key, nonce, 1);
+  EXPECT_EQ(c2.process(ct), pt);
+}
+
+TEST(ChaCha20, StreamMatchesBlocks) {
+  std::array<std::uint8_t, 32> key{};
+  key[0] = 7;
+  const std::array<std::uint8_t, 12> nonce{};
+  ChaCha20 a(key, nonce);
+  Bytes stream(200);
+  a.keystream(stream.data(), 13);
+  a.keystream(stream.data() + 13, 187);
+
+  ChaCha20 b(key, nonce);
+  Bytes expect(200);
+  b.keystream(expect.data(), 200);
+  EXPECT_EQ(stream, expect);
+}
+
+TEST(Prg, Deterministic) {
+  Prg a("seed-label");
+  Prg b("seed-label");
+  EXPECT_EQ(a.bytes(64), b.bytes(64));
+  EXPECT_EQ(a.u64(), b.u64());
+}
+
+TEST(Prg, DifferentSeedsDiffer) {
+  Prg a("label-a");
+  Prg b("label-b");
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(Prg, ForkIndependence) {
+  Prg parent("parent");
+  Prg c1 = parent.fork("child1");
+  Prg c2 = parent.fork("child2");
+  EXPECT_NE(c1.bytes(32), c2.bytes(32));
+  // Forking is independent of parent stream position.
+  Prg parent2("parent");
+  parent2.bytes(100);
+  Prg c1_again = parent2.fork("child1");
+  EXPECT_EQ(Prg("parent").fork("child1").bytes(16), c1_again.bytes(16));
+}
+
+TEST(Prg, UniformBoundRespected) {
+  Prg prg("uniform");
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(prg.uniform(17), 17u);
+    EXPECT_LT(prg.uniform(1u << 20), 1u << 20);
+    EXPECT_EQ(prg.uniform(1), 0u);
+  }
+}
+
+TEST(Prg, UniformCoversRange) {
+  Prg prg("coverage");
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 6000; ++i) counts[prg.uniform(6)]++;
+  ASSERT_EQ(counts.size(), 6u);
+  for (const auto& [v, c] : counts) {
+    EXPECT_GT(c, 800) << "value " << v << " undersampled";
+    EXPECT_LT(c, 1200) << "value " << v << " oversampled";
+  }
+}
+
+TEST(Prg, UniformRejectsZeroBound) {
+  Prg prg("zero");
+  EXPECT_THROW(prg.uniform(0), InvalidArgument);
+}
+
+TEST(Kdf, DeterministicAndContextSeparated) {
+  const Bytes key = ascii("key material");
+  const Bytes a = kdf_expand(key, "ctx-a", 48);
+  EXPECT_EQ(a, kdf_expand(key, "ctx-a", 48));
+  EXPECT_NE(a, kdf_expand(key, "ctx-b", 48));
+  EXPECT_EQ(a.size(), 48u);
+}
+
+TEST(Kdf, PrefixConsistency) {
+  const Bytes key = ascii("key");
+  const Bytes longer = kdf_expand(key, "ctx", 64);
+  const Bytes shorter = kdf_expand(key, "ctx", 32);
+  EXPECT_TRUE(std::equal(shorter.begin(), shorter.end(), longer.begin()));
+}
+
+}  // namespace
+}  // namespace spfe::crypto

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "bignum/primes.h"
+#include "common/error.h"
+#include "field/fp64.h"
+#include "field/polynomial.h"
+#include "field/zp.h"
+
+namespace spfe::field {
+namespace {
+
+using bignum::BigInt;
+
+TEST(Fp64, ConstructionValidation) {
+  EXPECT_NO_THROW(Fp64(2));
+  EXPECT_NO_THROW(Fp64(Fp64::kMersenne61));
+  EXPECT_THROW(Fp64(1), InvalidArgument);
+  EXPECT_THROW(Fp64(15), InvalidArgument);  // composite
+  EXPECT_THROW(Fp64(std::uint64_t(1) << 63), InvalidArgument);
+}
+
+TEST(Fp64, BasicArithmetic) {
+  const Fp64 f(17);
+  EXPECT_EQ(f.add(9, 12), 4u);
+  EXPECT_EQ(f.sub(3, 9), 11u);
+  EXPECT_EQ(f.mul(5, 7), 1u);
+  EXPECT_EQ(f.neg(5), 12u);
+  EXPECT_EQ(f.neg(0), 0u);
+  EXPECT_EQ(f.from_u64(100), 15u);
+  EXPECT_EQ(f.from_i64(-1), 16u);
+  EXPECT_EQ(f.from_i64(-18), 16u);
+}
+
+TEST(Fp64, InverseAndPow) {
+  const Fp64 f(101);
+  for (std::uint64_t a = 1; a < 101; ++a) {
+    EXPECT_EQ(f.mul(a, f.inv(a)), 1u);
+  }
+  EXPECT_THROW(f.inv(0), CryptoError);
+  EXPECT_EQ(f.pow(2, 100), 1u);  // Fermat
+}
+
+TEST(Fp64, Mersenne61LargeProducts) {
+  const Fp64 f(Fp64::kMersenne61);
+  const std::uint64_t a = Fp64::kMersenne61 - 1;
+  EXPECT_EQ(f.mul(a, a), 1u);  // (-1)^2 = 1
+  crypto::Prg prg("fp64");
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t x = f.random(prg);
+    const std::uint64_t y = f.random(prg);
+    EXPECT_EQ(f.mul(x, y), f.mul(y, x));
+    EXPECT_EQ(f.add(x, f.neg(x)), 0u);
+  }
+}
+
+TEST(Fp64, SmallestPrimeAbove) {
+  EXPECT_EQ(smallest_prime_above(0), 2u);
+  EXPECT_EQ(smallest_prime_above(2), 3u);
+  EXPECT_EQ(smallest_prime_above(10), 11u);
+  EXPECT_EQ(smallest_prime_above(1000000), 1000003u);
+  const std::uint64_t p = smallest_prime_above(1u << 20);
+  EXPECT_NO_THROW(Fp64{p});
+}
+
+TEST(Zp, BasicArithmetic) {
+  const Zp f(BigInt(101));
+  EXPECT_EQ(f.add(BigInt(60), BigInt(60)), BigInt(19));
+  EXPECT_EQ(f.mul(BigInt(10), BigInt(11)), BigInt(9));
+  EXPECT_EQ(f.sub(BigInt(3), BigInt(9)), BigInt(95));
+  EXPECT_EQ(f.mul(BigInt(5), f.inv(BigInt(5))), BigInt(1));
+  EXPECT_EQ(f.pow(BigInt(2), BigInt(100)), BigInt(1));
+}
+
+TEST(Zp, RejectsEvenModulus) { EXPECT_THROW(Zp(BigInt(100)), InvalidArgument); }
+
+TEST(Zp, LargeModulus) {
+  crypto::Prg prg("zp");
+  const BigInt p = bignum::random_prime(prg, 128, 16);
+  const Zp f(p);
+  const BigInt a = f.random(prg);
+  const BigInt b = f.random(prg);
+  EXPECT_EQ(f.add(f.mul(a, b), f.neg(f.mul(b, a))), f.zero());
+  EXPECT_EQ(f.mul(a, f.inv(a)), f.one());
+}
+
+TEST(Polynomial, EvalHorner) {
+  const Fp64 f(97);
+  // p(x) = 3 + 2x + x^2
+  const Polynomial<Fp64> p(f, {3, 2, 1});
+  EXPECT_EQ(p.eval(0), 3u);
+  EXPECT_EQ(p.eval(1), 6u);
+  EXPECT_EQ(p.eval(5), (3 + 10 + 25) % 97u);
+  EXPECT_EQ(p.degree(), 2u);
+}
+
+TEST(Polynomial, TrimsLeadingZeros) {
+  const Fp64 f(97);
+  const Polynomial<Fp64> p(f, {5, 0, 0});
+  EXPECT_EQ(p.degree(), 0u);
+  const Polynomial<Fp64> z(f, {0, 0});
+  EXPECT_TRUE(z.is_zero());
+}
+
+TEST(Polynomial, AddMul) {
+  const Fp64 f(97);
+  const Polynomial<Fp64> a(f, {1, 2});      // 1 + 2x
+  const Polynomial<Fp64> b(f, {3, 0, 4});   // 3 + 4x^2
+  const Polynomial<Fp64> sum = a + b;
+  EXPECT_EQ(sum.coefficients(), (std::vector<std::uint64_t>{4, 2, 4}));
+  const Polynomial<Fp64> prod = a * b;  // 3 + 6x + 4x^2 + 8x^3
+  EXPECT_EQ(prod.coefficients(), (std::vector<std::uint64_t>{3, 6, 4, 8}));
+}
+
+TEST(Polynomial, RandomWithConstant) {
+  const Fp64 f(1009);
+  crypto::Prg prg("poly");
+  const auto p = Polynomial<Fp64>::random_with_constant(f, 5, 42, prg);
+  EXPECT_EQ(p.eval(0), 42u);
+  EXPECT_LE(p.degree(), 5u);
+}
+
+TEST(Polynomial, InterpolateRecoversPolynomial) {
+  const Fp64 f(1009);
+  crypto::Prg prg("interp");
+  for (std::size_t deg = 0; deg <= 6; ++deg) {
+    const auto p = Polynomial<Fp64>::random(f, deg, prg);
+    std::vector<std::uint64_t> xs, ys;
+    for (std::uint64_t x = 1; x <= deg + 1; ++x) {
+      xs.push_back(x);
+      ys.push_back(p.eval(x));
+    }
+    // Recover at several points, including 0.
+    EXPECT_EQ(interpolate_at(f, xs, ys, std::uint64_t(0)), p.eval(0)) << "deg=" << deg;
+    EXPECT_EQ(interpolate_at(f, xs, ys, std::uint64_t(500)), p.eval(500));
+  }
+}
+
+TEST(Polynomial, InterpolateRejectsDuplicates) {
+  const Fp64 f(97);
+  EXPECT_THROW(
+      interpolate_at(f, std::vector<std::uint64_t>{1, 1}, std::vector<std::uint64_t>{2, 3},
+                     std::uint64_t(0)),
+      InvalidArgument);
+  EXPECT_THROW(interpolate_at(f, std::vector<std::uint64_t>{}, std::vector<std::uint64_t>{},
+                              std::uint64_t(0)),
+               InvalidArgument);
+}
+
+TEST(Polynomial, LagrangeWeightsMatchInterpolation) {
+  const Fp64 f(1009);
+  crypto::Prg prg("weights");
+  const auto p = Polynomial<Fp64>::random(f, 4, prg);
+  std::vector<std::uint64_t> xs, ys;
+  for (std::uint64_t x = 1; x <= 5; ++x) {
+    xs.push_back(x);
+    ys.push_back(p.eval(x));
+  }
+  const auto w = lagrange_weights_at_zero(f, xs);
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) acc = f.add(acc, f.mul(w[i], ys[i]));
+  EXPECT_EQ(acc, p.eval(0));
+}
+
+TEST(Polynomial, WorksOverZp) {
+  const Zp f(BigInt(10007));
+  crypto::Prg prg("zp-poly");
+  const auto p = Polynomial<Zp>::random_with_constant(f, 3, BigInt(77), prg);
+  std::vector<BigInt> xs, ys;
+  for (std::uint64_t x = 1; x <= 4; ++x) {
+    xs.push_back(BigInt(x));
+    ys.push_back(p.eval(BigInt(x)));
+  }
+  EXPECT_EQ(interpolate_at(f, xs, ys, BigInt()), BigInt(77));
+}
+
+TEST(Polynomial, MWiseIndependencePointEvaluations) {
+  // A random degree-(m-1) polynomial evaluated at m fixed points should be
+  // (close to) uniform on each coordinate: sanity-check the masking family
+  // used by the §3.3.2 input-selection protocol.
+  const Fp64 f(17);
+  crypto::Prg prg("mwise");
+  constexpr std::size_t kM = 3;
+  std::vector<int> counts(17, 0);
+  for (int trial = 0; trial < 1700; ++trial) {
+    const auto p = Polynomial<Fp64>::random(f, kM - 1, prg);
+    counts[p.eval(5)]++;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 50);
+    EXPECT_LT(c, 160);
+  }
+}
+
+}  // namespace
+}  // namespace spfe::field

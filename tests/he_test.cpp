@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "bignum/primes.h"
+#include "common/error.h"
+#include "he/goldwasser_micali.h"
+#include "he/paillier.h"
+
+namespace spfe::he {
+namespace {
+
+using bignum::BigInt;
+
+class PaillierTest : public ::testing::Test {
+ protected:
+  // 256-bit keys keep the unit suite fast; bench_primitives covers 512/1024.
+  PaillierTest() : prg_("paillier-test"), sk_(paillier_keygen(prg_, 256)) {}
+
+  crypto::Prg prg_;
+  PaillierPrivateKey sk_;
+};
+
+TEST_F(PaillierTest, EncryptDecryptRoundTrip) {
+  const auto& pk = sk_.public_key();
+  for (const std::uint64_t m : {0ull, 1ull, 42ull, 1000000007ull}) {
+    const BigInt c = pk.encrypt(BigInt(m), prg_);
+    EXPECT_EQ(sk_.decrypt(c), BigInt(m));
+  }
+  // Near the modulus.
+  const BigInt big = pk.n() - BigInt(1);
+  EXPECT_EQ(sk_.decrypt(pk.encrypt(big, prg_)), big);
+}
+
+TEST_F(PaillierTest, EncryptionIsRandomized) {
+  const auto& pk = sk_.public_key();
+  EXPECT_NE(pk.encrypt(BigInt(7), prg_), pk.encrypt(BigInt(7), prg_));
+}
+
+TEST_F(PaillierTest, AdditiveHomomorphism) {
+  const auto& pk = sk_.public_key();
+  const BigInt a(123456789), b(987654321);
+  const BigInt sum = pk.add(pk.encrypt(a, prg_), pk.encrypt(b, prg_));
+  EXPECT_EQ(sk_.decrypt(sum), a + b);
+}
+
+TEST_F(PaillierTest, HomomorphismWrapsModN) {
+  const auto& pk = sk_.public_key();
+  const BigInt a = pk.n() - BigInt(5);
+  const BigInt b(12);
+  const BigInt sum = pk.add(pk.encrypt(a, prg_), pk.encrypt(b, prg_));
+  EXPECT_EQ(sk_.decrypt(sum), BigInt(7));
+}
+
+TEST_F(PaillierTest, ScalarMultiplication) {
+  const auto& pk = sk_.public_key();
+  const BigInt c = pk.encrypt(BigInt(1000), prg_);
+  EXPECT_EQ(sk_.decrypt(pk.mul_scalar(c, BigInt(37))), BigInt(37000));
+  EXPECT_EQ(sk_.decrypt(pk.mul_scalar(c, BigInt(0))), BigInt(0));
+  // Negative scalar uses the group inverse: -2 * 1000 = N - 2000.
+  EXPECT_EQ(sk_.decrypt(pk.mul_scalar(c, BigInt(-2))), pk.n() - BigInt(2000));
+  EXPECT_EQ(sk_.decrypt_signed(pk.mul_scalar(c, BigInt(-2))), BigInt(-2000));
+}
+
+TEST_F(PaillierTest, NegateAndSignedDecrypt) {
+  const auto& pk = sk_.public_key();
+  const BigInt c = pk.negate(pk.encrypt(BigInt(555), prg_));
+  EXPECT_EQ(sk_.decrypt_signed(c), BigInt(-555));
+}
+
+TEST_F(PaillierTest, RerandomizePreservesPlaintext) {
+  const auto& pk = sk_.public_key();
+  const BigInt c = pk.encrypt(BigInt(777), prg_);
+  const BigInt c2 = pk.rerandomize(c, prg_);
+  EXPECT_NE(c, c2);
+  EXPECT_EQ(sk_.decrypt(c2), BigInt(777));
+}
+
+TEST_F(PaillierTest, LinearCombination) {
+  // decrypt(prod E(a_i)^{w_i}) = sum w_i a_i — the §4 weighted-sum core.
+  const auto& pk = sk_.public_key();
+  const std::uint64_t values[] = {10, 20, 30};
+  const std::uint64_t weights[] = {3, 5, 7};
+  BigInt acc = pk.encrypt(BigInt(0), prg_);
+  for (int i = 0; i < 3; ++i) {
+    acc = pk.add(acc, pk.mul_scalar(pk.encrypt(BigInt(values[i]), prg_), BigInt(weights[i])));
+  }
+  EXPECT_EQ(sk_.decrypt(acc), BigInt(10 * 3 + 20 * 5 + 30 * 7));
+}
+
+TEST_F(PaillierTest, PublicKeySerializationRoundTrip) {
+  const auto& pk = sk_.public_key();
+  Writer w;
+  pk.serialize(w);
+  Reader r(w.data());
+  const PaillierPublicKey pk2 = PaillierPublicKey::deserialize(r);
+  EXPECT_EQ(pk2, pk);
+  // A ciphertext made by the deserialized key decrypts correctly.
+  EXPECT_EQ(sk_.decrypt(pk2.encrypt(BigInt(31337), prg_)), BigInt(31337));
+}
+
+TEST_F(PaillierTest, DecryptValidatesRange) {
+  EXPECT_THROW(sk_.decrypt(sk_.public_key().n_squared()), InvalidArgument);
+  EXPECT_THROW(sk_.decrypt(BigInt(-1)), InvalidArgument);
+}
+
+TEST(Paillier, KeygenValidatesSize) {
+  crypto::Prg prg("kg");
+  EXPECT_THROW(paillier_keygen(prg, 8), InvalidArgument);
+}
+
+TEST(Paillier, DeterministicEncryptionWithExplicitRandomness) {
+  crypto::Prg prg("det");
+  const auto sk = paillier_keygen(prg, 128);
+  const auto& pk = sk.public_key();
+  const BigInt r(12345);
+  EXPECT_EQ(pk.encrypt_with_randomness(BigInt(9), r), pk.encrypt_with_randomness(BigInt(9), r));
+  EXPECT_EQ(sk.decrypt(pk.encrypt_with_randomness(BigInt(9), r)), BigInt(9));
+}
+
+class GmTest : public ::testing::Test {
+ protected:
+  GmTest() : prg_("gm-test"), sk_(gm_keygen(prg_, 256)) {}
+
+  crypto::Prg prg_;
+  GmPrivateKey sk_;
+};
+
+TEST_F(GmTest, EncryptDecryptBits) {
+  const auto& pk = sk_.public_key();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(sk_.decrypt(pk.encrypt(false, prg_)));
+    EXPECT_TRUE(sk_.decrypt(pk.encrypt(true, prg_)));
+  }
+}
+
+TEST_F(GmTest, XorHomomorphism) {
+  const auto& pk = sk_.public_key();
+  for (const bool a : {false, true}) {
+    for (const bool b : {false, true}) {
+      const auto c = pk.xor_ct(pk.encrypt(a, prg_), pk.encrypt(b, prg_));
+      EXPECT_EQ(sk_.decrypt(c), a != b);
+    }
+  }
+}
+
+TEST_F(GmTest, RerandomizePreservesBit) {
+  const auto& pk = sk_.public_key();
+  const auto c = pk.encrypt(true, prg_);
+  const auto c2 = pk.rerandomize(c, prg_);
+  EXPECT_NE(c, c2);
+  EXPECT_TRUE(sk_.decrypt(c2));
+}
+
+TEST_F(GmTest, SerializationRoundTrip) {
+  Writer w;
+  sk_.public_key().serialize(w);
+  Reader r(w.data());
+  const GmPublicKey pk2 = GmPublicKey::deserialize(r);
+  EXPECT_TRUE(sk_.decrypt(pk2.encrypt(true, prg_)));
+}
+
+TEST(Gm, PublicKeyValidatesZ) {
+  crypto::Prg prg("gm-validate");
+  const auto sk = gm_keygen(prg, 128);
+  // z with Jacobi symbol -1 must be rejected.
+  const BigInt n = sk.public_key().n();
+  BigInt bad(2);
+  while (bignum::jacobi(bad, n) != -1) bad += BigInt(1);
+  EXPECT_THROW(GmPublicKey(n, bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace spfe::he

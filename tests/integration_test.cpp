@@ -1,0 +1,192 @@
+// Cross-protocol integration tests: the same private query answered through
+// *different* protocol families must produce identical results — the
+// strongest end-to-end consistency check the library supports.
+#include <gtest/gtest.h>
+
+#include "circuits/arith_circuit.h"
+#include "dbgen/census.h"
+#include "he/paillier.h"
+#include "spfe/multiserver.h"
+#include "spfe/psm_spfe.h"
+#include "spfe/stats.h"
+#include "spfe/two_phase.h"
+
+namespace spfe {
+namespace {
+
+using field::Fp64;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  IntegrationTest()
+      : client_prg_("integ-client"),
+        server_prg_("integ-server"),
+        client_sk_(he::paillier_keygen(client_prg_, 512)),
+        server_sk_(he::paillier_keygen(server_prg_, 512)) {}
+
+  crypto::Prg client_prg_, server_prg_;
+  he::PaillierPrivateKey client_sk_;
+  he::PaillierPrivateKey server_sk_;
+};
+
+TEST_F(IntegrationTest, SumAgreesAcrossFourProtocolFamilies) {
+  // One database, one secret selection; the sum computed via:
+  //  (1) §3.1 multi-server polynomial protocol,
+  //  (2) §3.2 PSM-based protocol,
+  //  (3) §3.3 two-phase (input selection + §3.3.4 arithmetic MPC),
+  //  (4) §4 one-round weighted-sum protocol.
+  constexpr std::size_t kN = 128, kM = 4;
+  constexpr std::uint64_t kCap = 5000;
+  std::vector<std::uint64_t> db(kN);
+  for (std::size_t i = 0; i < kN; ++i) db[i] = (i * 83 + 17) % kCap;
+  const std::vector<std::size_t> indices = {5, 31, 77, 127};
+  std::uint64_t expect = 0;
+  for (const std::size_t i : indices) expect += db[i];
+
+  std::vector<std::uint64_t> results;
+
+  {  // (1) §3.1
+    const Fp64 f(Fp64::kMersenne61);
+    const std::size_t k = protocols::MultiServerSumSpfe::min_servers(kN, 1);
+    const protocols::MultiServerSumSpfe proto(f, kN, kM, k, 1);
+    net::StarNetwork net(k);
+    results.push_back(proto.run(net, db, indices, std::nullopt, client_prg_));
+  }
+  {  // (2) §3.2 with sum PSM (modulus well above the sum)
+    const protocols::PsmSumSpfeSingleServer proto(client_sk_.public_key(), kN, kM,
+                                                  kM * kCap + 1, 2);
+    net::StarNetwork net(1);
+    results.push_back(proto.run(net, db, indices, client_sk_, client_prg_, server_prg_));
+  }
+  {  // (3) two-phase arithmetic
+    const std::uint64_t p = field::smallest_prime_above(kM * kCap + kN);
+    const auto circuit = circuits::ArithCircuit::sum(kM, p);
+    net::StarNetwork net(1);
+    results.push_back(protocols::run_two_phase_arith(
+        net, 0, db, indices, circuit, protocols::SelectionMethod::kPolyMaskClientKey,
+        client_sk_, server_sk_, 2, client_prg_, server_prg_)[0]);
+  }
+  {  // (4) §4 weighted sum with unit weights
+    const Fp64 f(field::smallest_prime_above(kM * kCap + kN));
+    const protocols::WeightedSumProtocol proto(f, kN, kM, 2);
+    net::StarNetwork net(1);
+    results.push_back(proto.run(net, 0, db, indices, std::vector<std::uint64_t>(kM, 1),
+                                client_sk_, client_prg_, server_prg_));
+  }
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], expect) << "protocol family " << i + 1;
+  }
+}
+
+TEST_F(IntegrationTest, KeywordMatchAgreesAcrossThreeProtocolFamilies) {
+  // f = (x_i == 13) via (1) §3.1 formula protocol on bit columns,
+  // (2) BP-PSM, (3) two-phase Yao with a private keyword.
+  constexpr std::size_t kN = 64, kBits = 5;
+  std::vector<std::uint64_t> db(kN);
+  for (std::size_t i = 0; i < kN; ++i) db[i] = (i * 7) % 32;
+  constexpr std::uint64_t kKeyword = 13;
+
+  for (const std::size_t idx : {0u, 24u, 63u}) {
+    const bool expect = db[idx] == kKeyword;
+    std::vector<bool> results;
+
+    {  // (1) §3.1: equality of bits as an AND formula over kBits bit columns.
+      // Formula arg j = bit j of the item; database per arg = bit column.
+      // Encode the match as AND over per-bit equality-to-constant
+      // (leaf or NOT(leaf)). Run against a bit-sliced database where each
+      // argument selects the same record in a different bit column. To stay
+      // within the single-database model, interleave bit columns:
+      // position i*kBits + b holds bit b of record i.
+      std::string expr;
+      for (std::size_t b = 0; b < kBits; ++b) {
+        const bool want = ((kKeyword >> b) & 1) != 0;
+        if (!expr.empty()) expr += " & ";
+        expr += want ? ("x" + std::to_string(b)) : ("~x" + std::to_string(b));
+      }
+      const auto formula = circuits::Formula::parse(expr);
+      std::vector<std::uint64_t> bit_db(kN * kBits);
+      for (std::size_t i = 0; i < kN; ++i) {
+        for (std::size_t b = 0; b < kBits; ++b) bit_db[i * kBits + b] = (db[i] >> b) & 1;
+      }
+      const Fp64 f(Fp64::kMersenne61);
+      const std::size_t k =
+          protocols::MultiServerFormulaSpfe::min_servers(formula, bit_db.size(), 1);
+      const protocols::MultiServerFormulaSpfe proto(f, formula, bit_db.size(), k, 1);
+      std::vector<std::size_t> bit_indices;
+      for (std::size_t b = 0; b < kBits; ++b) bit_indices.push_back(idx * kBits + b);
+      net::StarNetwork net(k);
+      results.push_back(proto.run(net, bit_db, bit_indices, std::nullopt, client_prg_) != 0);
+    }
+    {  // (2) BP-PSM
+      const protocols::PsmBpSpfeSingleServer proto(
+          client_sk_.public_key(), circuits::BranchingProgram::equals_constant(kBits, kKeyword),
+          kN, 2);
+      net::StarNetwork net(1);
+      results.push_back(proto.run(net, db, {idx}, client_sk_, client_prg_, server_prg_));
+    }
+    {  // (3) two-phase Yao with the keyword as a private parameter
+      const auto body = [](circuits::BooleanCircuit& c,
+                           const std::vector<circuits::WireBundle>& items,
+                           const circuits::WireBundle& param) {
+        c.add_output(circuits::build_eq(c, items[0], param));
+      };
+      const ot::SchnorrGroup group = ot::SchnorrGroup::rfc_like_512();
+      net::StarNetwork net(1);
+      const auto out = protocols::run_two_phase_boolean_private_param(
+          net, 0, db, {idx}, kBits, protocols::SelectionMethod::kPerItem, kKeyword, kBits,
+          body, client_sk_, server_sk_, group, 1, client_prg_, server_prg_);
+      results.push_back(out[0]);
+    }
+
+    for (std::size_t p = 0; p < results.size(); ++p) {
+      EXPECT_EQ(results[p], expect) << "idx " << idx << " protocol " << p + 1;
+    }
+  }
+}
+
+TEST_F(IntegrationTest, CensusPipelineMultipleStatisticsOneDatabase) {
+  // A realistic session: one census database, three different statistics
+  // with three protocols, all consistent with the plaintext.
+  crypto::Prg data_prg("integ-census");
+  dbgen::CensusOptions options;
+  options.num_records = 256;
+  options.max_salary = 50'000;
+  const auto census = dbgen::generate_census(options, data_prg);
+  const auto salaries = census.private_column();
+  constexpr std::size_t kM = 6;
+  const auto cohort = census.select_sample(
+      [](const dbgen::CensusRecord& r) { return r.age_bracket >= 3; }, kM);
+
+  // Statistic 1: mean + variance (§4 package).
+  const Fp64 f1(field::smallest_prime_above(kM * 50'001ull * 50'001ull));
+  const protocols::MeanVariancePackage pkg(f1, salaries.size(), kM, 1);
+  net::StarNetwork net1(1);
+  const auto mv = pkg.run(net1, 0, salaries, cohort, client_sk_, client_prg_, server_prg_);
+
+  // Statistic 2: sum via multi-server (must equal mean * m).
+  const Fp64 f61(Fp64::kMersenne61);
+  const std::size_t k = protocols::MultiServerSumSpfe::min_servers(salaries.size(), 1);
+  const protocols::MultiServerSumSpfe ms(f61, salaries.size(), kM, k, 1);
+  net::StarNetwork net2(k);
+  const std::uint64_t sum = ms.run(net2, salaries, cohort, std::nullopt, client_prg_);
+  EXPECT_EQ(sum, mv.sum);
+
+  // Statistic 3: frequency of the cohort's own first bracket among brackets.
+  std::vector<std::uint64_t> brackets;
+  for (const auto& r : census.records) brackets.push_back(r.age_bracket);
+  const Fp64 f2(field::smallest_prime_above(brackets.size() + 16));
+  const protocols::FrequencyProtocol freq(f2, brackets.size(), kM,
+                                          protocols::SelectionMethod::kPolyMaskClientKey, 1);
+  net::StarNetwork net3(1);
+  const std::uint64_t target = brackets[cohort[0]];
+  const std::size_t count = freq.run(net3, 0, brackets, cohort, target, client_sk_, server_sk_,
+                                     client_prg_, server_prg_);
+  std::size_t expect_count = 0;
+  for (const std::size_t i : cohort) expect_count += brackets[i] == target ? 1 : 0;
+  EXPECT_EQ(count, expect_count);
+  EXPECT_GE(count, 1u);  // the cohort's own record matches itself
+}
+
+}  // namespace
+}  // namespace spfe

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "net/network.h"
+
+namespace spfe::net {
+namespace {
+
+TEST(StarNetwork, DeliversInOrder) {
+  StarNetwork net(2);
+  net.client_send(0, {1});
+  net.client_send(0, {2});
+  net.client_send(1, {3});
+  EXPECT_EQ(net.server_receive(0), (Bytes{1}));
+  EXPECT_EQ(net.server_receive(0), (Bytes{2}));
+  EXPECT_EQ(net.server_receive(1), (Bytes{3}));
+  EXPECT_TRUE(net.idle());
+}
+
+TEST(StarNetwork, ReceiveWithoutMessageThrows) {
+  StarNetwork net(1);
+  EXPECT_THROW(net.server_receive(0), ProtocolError);
+  EXPECT_THROW(net.client_receive(0), ProtocolError);
+}
+
+TEST(StarNetwork, IndexValidation) {
+  StarNetwork net(2);
+  EXPECT_THROW(net.client_send(2, {}), InvalidArgument);
+  EXPECT_THROW(net.server_send(5, {}), InvalidArgument);
+  EXPECT_THROW(StarNetwork(0), InvalidArgument);
+}
+
+TEST(StarNetwork, MetersBytesAndMessages) {
+  StarNetwork net(2);
+  net.client_send(0, Bytes(100));
+  net.client_send(1, Bytes(50));
+  net.server_send(0, Bytes(7));
+  const CommStats& s = net.stats();
+  EXPECT_EQ(s.client_to_server_bytes, 150u);
+  EXPECT_EQ(s.server_to_client_bytes, 7u);
+  EXPECT_EQ(s.client_to_server_messages, 2u);
+  EXPECT_EQ(s.server_to_client_messages, 1u);
+  EXPECT_EQ(s.total_bytes(), 157u);
+}
+
+TEST(StarNetwork, CountsOneRoundExchange) {
+  // Client -> both servers, then both reply: exactly 1.0 rounds.
+  StarNetwork net(2);
+  net.client_send(0, {1});
+  net.client_send(1, {1});
+  net.server_send(0, {2});
+  net.server_send(1, {2});
+  EXPECT_DOUBLE_EQ(net.stats().rounds(), 1.0);
+}
+
+TEST(StarNetwork, CountsHalfRoundWhenServerSpeaksFirst) {
+  // Server -> client, client -> server, server -> client: 1.5 rounds
+  // (the §3.3.2 variant-2 communication pattern).
+  StarNetwork net(1);
+  net.server_send(0, {1});
+  net.client_send(0, {2});
+  net.server_send(0, {3});
+  EXPECT_DOUBLE_EQ(net.stats().rounds(), 1.5);
+}
+
+TEST(StarNetwork, BatchedSendsSameDirectionAreOneHalfRound) {
+  StarNetwork net(3);
+  for (std::size_t s = 0; s < 3; ++s) net.client_send(s, {1});
+  for (std::size_t s = 0; s < 3; ++s) net.client_send(s, {2});
+  EXPECT_EQ(net.stats().half_rounds, 1u);
+  for (std::size_t s = 0; s < 3; ++s) net.server_send(s, {3});
+  EXPECT_EQ(net.stats().half_rounds, 2u);
+}
+
+TEST(StarNetwork, ResetStats) {
+  StarNetwork net(1);
+  net.client_send(0, Bytes(10));
+  net.reset_stats();
+  EXPECT_EQ(net.stats().total_bytes(), 0u);
+  EXPECT_EQ(net.stats().half_rounds, 0u);
+  // Direction tracking also resets: next send starts a fresh half-round.
+  net.server_send(0, {1});
+  EXPECT_EQ(net.stats().half_rounds, 1u);
+}
+
+}  // namespace
+}  // namespace spfe::net

@@ -1,0 +1,240 @@
+// Property-based and differential tests across the protocol stack:
+//   - random arithmetic circuits: §3.3.4 MPC output == plaintext evaluation;
+//   - random Boolean circuits: garbled evaluation == plain evaluation;
+//   - end-to-end SPFE differential sweep vs plaintext references;
+//   - metadata-privacy: message *sizes* must not depend on the client's
+//     secret indices (a size channel would break client privacy regardless
+//     of the cryptography).
+#include <gtest/gtest.h>
+
+#include "circuits/arith_circuit.h"
+#include "circuits/boolean_circuit.h"
+#include "he/paillier.h"
+#include "mpc/arith_protocol.h"
+#include "mpc/yao.h"
+#include "spfe/input_selection.h"
+#include "spfe/multiserver.h"
+#include "spfe/stats.h"
+#include "spfe/two_phase.h"
+
+namespace spfe {
+namespace {
+
+using circuits::ArithCircuit;
+using circuits::BooleanCircuit;
+
+// Uniformly random arithmetic circuit with the given number of gates.
+ArithCircuit random_arith_circuit(std::size_t num_inputs, std::uint64_t modulus,
+                                  std::size_t gates, std::size_t max_mults, crypto::Prg& prg) {
+  ArithCircuit c(num_inputs, modulus);
+  std::vector<std::uint32_t> nodes;
+  for (std::size_t i = 0; i < num_inputs; ++i) nodes.push_back(c.input(i));
+  std::size_t mults = 0;
+  for (std::size_t g = 0; g < gates; ++g) {
+    const std::uint32_t a = nodes[prg.uniform(nodes.size())];
+    const std::uint32_t b = nodes[prg.uniform(nodes.size())];
+    switch (prg.uniform(5)) {
+      case 0:
+        nodes.push_back(c.add(a, b));
+        break;
+      case 1:
+        nodes.push_back(c.sub(a, b));
+        break;
+      case 2:
+        nodes.push_back(c.mul_const(a, prg.uniform(modulus)));
+        break;
+      case 3:
+        nodes.push_back(c.constant(prg.uniform(modulus)));
+        break;
+      default:
+        if (mults < max_mults) {
+          nodes.push_back(c.mul(a, b));
+          ++mults;
+        } else {
+          nodes.push_back(c.add(a, b));
+        }
+        break;
+    }
+  }
+  c.add_output(nodes.back());
+  c.add_output(nodes[prg.uniform(nodes.size())]);
+  return c;
+}
+
+TEST(PropertyArithMpc, RandomCircuitsMatchPlainEvaluation) {
+  crypto::Prg key_prg("prop-arith-key");
+  const he::PaillierPrivateKey sk = he::paillier_keygen(key_prg, 512);
+  crypto::Prg prg("prop-arith");
+  constexpr std::uint64_t kU = 65537;
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t m = 2 + prg.uniform(3);
+    const ArithCircuit circuit = random_arith_circuit(m, kU, 8 + prg.uniform(8), 3, prg);
+    std::vector<std::uint64_t> xs(m), cs(m), ss(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      xs[j] = prg.uniform(kU);
+      ss[j] = prg.uniform(kU);
+      cs[j] = (xs[j] + kU - ss[j]) % kU;
+    }
+    net::StarNetwork net(1);
+    crypto::Prg cprg("c" + std::to_string(trial)), sprg("s" + std::to_string(trial));
+    const auto got = mpc::run_arith_mpc_shared(net, 0, circuit, sk, cs, ss, cprg, sprg);
+    EXPECT_EQ(got, circuit.eval(xs)) << "trial " << trial;
+    EXPECT_TRUE(net.idle());
+  }
+}
+
+// Random Boolean circuit over layered random gates.
+BooleanCircuit random_boolean_circuit(std::size_t num_inputs, std::size_t gates,
+                                      crypto::Prg& prg) {
+  BooleanCircuit c(num_inputs);
+  std::vector<circuits::WireId> wires;
+  for (std::size_t i = 0; i < num_inputs; ++i) wires.push_back(c.input(i));
+  for (std::size_t g = 0; g < gates; ++g) {
+    const circuits::WireId a = wires[prg.uniform(wires.size())];
+    const circuits::WireId b = wires[prg.uniform(wires.size())];
+    switch (prg.uniform(5)) {
+      case 0:
+        wires.push_back(c.xor_gate(a, b));
+        break;
+      case 1:
+        wires.push_back(c.and_gate(a, b));
+        break;
+      case 2:
+        wires.push_back(c.or_gate(a, b));
+        break;
+      case 3:
+        wires.push_back(c.not_gate(a));
+        break;
+      default:
+        wires.push_back(c.const_wire(prg.coin()));
+        break;
+    }
+  }
+  for (int o = 0; o < 3; ++o) c.add_output(wires[wires.size() - 1 - static_cast<std::size_t>(o)]);
+  return c;
+}
+
+TEST(PropertyYao, RandomCircuitsGarbleCorrectly) {
+  crypto::Prg prg("prop-yao");
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t inputs = 2 + prg.uniform(6);
+    const BooleanCircuit c = random_boolean_circuit(inputs, 10 + prg.uniform(30), prg);
+    const mpc::GarblingResult g = mpc::garble(c, prg);
+    for (int iv = 0; iv < 4; ++iv) {
+      std::vector<bool> in(inputs);
+      std::vector<mpc::Label> active(inputs);
+      for (std::size_t i = 0; i < inputs; ++i) {
+        in[i] = prg.coin();
+        active[i] = g.input_labels[i].get(in[i]);
+      }
+      EXPECT_EQ(mpc::evaluate(c, g.garbled, active), c.eval(in))
+          << "trial " << trial << " iv " << iv;
+    }
+  }
+}
+
+TEST(PropertySpfe, WeightedSumDifferentialSweep) {
+  crypto::Prg key_prg("prop-ws-key");
+  const he::PaillierPrivateKey sk = he::paillier_keygen(key_prg, 512);
+  crypto::Prg prg("prop-ws");
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::size_t n = 16 + prg.uniform(100);
+    const std::size_t m = 1 + prg.uniform(6);
+    const std::uint64_t cap = 1 + prg.uniform(10000);
+    const field::Fp64 field(
+        field::smallest_prime_above(std::max<std::uint64_t>(n + 1, m * cap + 1)));
+    std::vector<std::uint64_t> db(n);
+    for (auto& v : db) v = prg.uniform(cap);
+    std::vector<std::size_t> indices(m);
+    std::vector<std::uint64_t> weights(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      indices[j] = prg.uniform(n);
+      weights[j] = prg.uniform(10);
+    }
+    const protocols::WeightedSumProtocol proto(field, n, m, 1 + prg.uniform(2));
+    net::StarNetwork net(1);
+    crypto::Prg cprg("wc" + std::to_string(trial)), sprg("ws" + std::to_string(trial));
+    const std::uint64_t got = proto.run(net, 0, db, indices, weights, sk, cprg, sprg);
+    std::uint64_t expect = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+      expect = (expect + weights[j] % field.modulus() * (db[indices[j]] % field.modulus())) %
+               field.modulus();
+    }
+    EXPECT_EQ(got, expect) << "trial " << trial << " n=" << n << " m=" << m;
+  }
+}
+
+TEST(PropertySpfe, MultiServerSumDifferentialSweep) {
+  const field::Fp64 field(field::Fp64::kMersenne61);
+  crypto::Prg prg("prop-ms");
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = 2 + prg.uniform(500);
+    const std::size_t m = 1 + prg.uniform(8);
+    const std::size_t t = 1 + prg.uniform(2);
+    const std::size_t k = protocols::MultiServerSumSpfe::min_servers(n, t);
+    const protocols::MultiServerSumSpfe proto(field, n, m, k, t);
+    std::vector<std::uint64_t> db(n);
+    for (auto& v : db) v = prg.uniform(1u << 20);
+    std::vector<std::size_t> indices(m);
+    for (auto& i : indices) i = prg.uniform(n);
+    std::uint64_t expect = 0;
+    for (const std::size_t i : indices) expect += db[i];
+    net::StarNetwork net(k);
+    EXPECT_EQ(proto.run(net, db, indices, std::nullopt, prg), expect)
+        << "trial " << trial << " n=" << n << " m=" << m << " t=" << t;
+  }
+}
+
+// Message sizes must be a function of public parameters only, never of the
+// selected indices — otherwise the size itself leaks the query.
+TEST(PropertyPrivacy, QuerySizesIndependentOfIndices) {
+  crypto::Prg key_prg("prop-size-key");
+  const he::PaillierPrivateKey client_sk = he::paillier_keygen(key_prg, 512);
+  const he::PaillierPrivateKey server_sk = he::paillier_keygen(key_prg, 512);
+  constexpr std::size_t kN = 64;
+  const std::uint64_t p = field::smallest_prime_above(1000);
+  std::vector<std::uint64_t> db(kN);
+  for (std::size_t i = 0; i < kN; ++i) db[i] = i % 1000;
+
+  for (const auto method :
+       {protocols::SelectionMethod::kPerItem, protocols::SelectionMethod::kPolyMaskClientKey,
+        protocols::SelectionMethod::kPolyMaskServerKey,
+        protocols::SelectionMethod::kEncryptedDb}) {
+    std::vector<net::CommStats> stats;
+    for (const std::vector<std::size_t>& indices :
+         {std::vector<std::size_t>{0, 1, 2}, std::vector<std::size_t>{61, 7, 33}}) {
+      net::StarNetwork net(1);
+      crypto::Prg cprg("pc"), sprg("ps");
+      (void)protocols::run_input_selection(net, 0, db, indices, p, method, client_sk,
+                                           server_sk, 1, cprg, sprg);
+      stats.push_back(net.stats());
+    }
+    EXPECT_EQ(stats[0].client_to_server_bytes, stats[1].client_to_server_bytes)
+        << protocols::selection_method_name(method);
+    EXPECT_EQ(stats[0].server_to_client_bytes, stats[1].server_to_client_bytes)
+        << protocols::selection_method_name(method);
+    EXPECT_EQ(stats[0].client_to_server_messages, stats[1].client_to_server_messages)
+        << protocols::selection_method_name(method);
+  }
+}
+
+TEST(PropertyPrivacy, MultiServerQuerySizesIndependentOfIndices) {
+  const field::Fp64 field(field::Fp64::kMersenne61);
+  constexpr std::size_t kN = 128, kM = 3, kT = 1;
+  const std::size_t k = protocols::MultiServerSumSpfe::min_servers(kN, kT);
+  const protocols::MultiServerSumSpfe proto(field, kN, kM, k, kT);
+  crypto::Prg prg("prop-ms-size");
+  std::vector<std::size_t> sizes;
+  for (const std::vector<std::size_t>& indices :
+       {std::vector<std::size_t>{0, 0, 0}, std::vector<std::size_t>{127, 64, 1}}) {
+    protocols::MultiServerSumSpfe::ClientState state;
+    const auto queries = proto.make_queries(indices, state, prg);
+    std::size_t total = 0;
+    for (const Bytes& q : queries) total += q.size();
+    sizes.push_back(total);
+  }
+  EXPECT_EQ(sizes[0], sizes[1]);
+}
+
+}  // namespace
+}  // namespace spfe

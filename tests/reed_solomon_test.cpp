@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "field/fp64.h"
+#include "common/serialize.h"
+#include "field/reed_solomon.h"
+#include "net/network.h"
+#include "spfe/multiserver.h"
+
+namespace spfe::field {
+namespace {
+
+TEST(LinearSolver, SolvesSquareSystem) {
+  const Fp64 f(101);
+  // 2x + 3y = 8, x + y = 3 -> x = 1? Solve over F101: x=1? 2+3y=8 -> check
+  // x=1,y=2: 2+6=8 ok, 1+2=3 ok.
+  const auto sol = solve_linear_system(
+      f, {{2, 3}, {1, 1}}, std::vector<std::uint64_t>{8, 3});
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ((*sol)[0], 1u);
+  EXPECT_EQ((*sol)[1], 2u);
+}
+
+TEST(LinearSolver, DetectsInconsistency) {
+  const Fp64 f(101);
+  const auto sol = solve_linear_system(
+      f, {{1, 1}, {2, 2}}, std::vector<std::uint64_t>{3, 7});
+  EXPECT_FALSE(sol.has_value());
+}
+
+TEST(LinearSolver, UnderdeterminedPicksASolution) {
+  const Fp64 f(101);
+  const auto sol = solve_linear_system(f, {{1, 1}}, std::vector<std::uint64_t>{5});
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(f.add((*sol)[0], (*sol)[1]), 5u);
+}
+
+class BerlekampWelchTest : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(BerlekampWelchTest, CorrectsUpToEErrors) {
+  const auto [d, e] = GetParam();
+  const Fp64 f(Fp64::kMersenne61);
+  crypto::Prg prg("bw");
+  const auto poly = Polynomial<Fp64>::random(f, d, prg);
+  const std::size_t k = d + 1 + 2 * e;
+  std::vector<std::uint64_t> xs(k), ys(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    xs[i] = i + 1;
+    ys[i] = poly.eval(xs[i]);
+  }
+  // Corrupt e distinct positions.
+  for (std::size_t c = 0; c < e; ++c) {
+    ys[c * 2] = f.add(ys[c * 2], 1 + prg.uniform(1000));
+  }
+  const auto got = berlekamp_welch(f, xs, ys, d, e, f.zero());
+  ASSERT_TRUE(got.has_value()) << "d=" << d << " e=" << e;
+  EXPECT_EQ(*got, poly.eval(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BerlekampWelchTest,
+                         ::testing::Values(std::tuple{1u, 1u}, std::tuple{3u, 1u},
+                                           std::tuple{3u, 2u}, std::tuple{5u, 3u},
+                                           std::tuple{10u, 2u}, std::tuple{4u, 0u}));
+
+TEST(BerlekampWelch, NoErrorsFastPath) {
+  const Fp64 f(1009);
+  crypto::Prg prg("bw0");
+  const auto poly = Polynomial<Fp64>::random(f, 3, prg);
+  std::vector<std::uint64_t> xs, ys;
+  for (std::uint64_t x = 1; x <= 6; ++x) {
+    xs.push_back(x);
+    ys.push_back(poly.eval(x));
+  }
+  EXPECT_EQ(berlekamp_welch(f, xs, ys, 3, 1, f.zero()), poly.eval(0));
+}
+
+TEST(BerlekampWelch, FailsBeyondBudget) {
+  const Fp64 f(Fp64::kMersenne61);
+  crypto::Prg prg("bw-fail");
+  const std::size_t d = 2, e = 1;
+  const auto poly = Polynomial<Fp64>::random(f, d, prg);
+  const std::size_t k = d + 1 + 2 * e;
+  std::vector<std::uint64_t> xs(k), ys(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    xs[i] = i + 1;
+    ys[i] = poly.eval(xs[i]);
+  }
+  // Corrupt e+1 positions: decoding must not silently return a wrong value
+  // (either nullopt or — impossible here — the right value).
+  ys[0] = f.add(ys[0], 17);
+  ys[1] = f.add(ys[1], 23);
+  const auto got = berlekamp_welch(f, xs, ys, d, e, f.zero());
+  if (got.has_value()) {
+    EXPECT_NE(*got, poly.eval(0)) << "would be a silent miracle";
+  }
+  SUCCEED();
+}
+
+TEST(BerlekampWelch, InsufficientPointsThrow) {
+  const Fp64 f(1009);
+  std::vector<std::uint64_t> xs = {1, 2, 3}, ys = {1, 2, 3};
+  EXPECT_THROW(berlekamp_welch(f, xs, ys, 2, 1, f.zero()), InvalidArgument);
+}
+
+// --- end-to-end: §3.1 with malicious servers --------------------------------
+
+TEST(MultiServerFaultTolerance, SumSurvivesCorruptAnswers) {
+  const Fp64 f(Fp64::kMersenne61);
+  constexpr std::size_t kN = 64, kM = 3, kT = 1, kErrors = 2;
+  // Provision 2*kErrors extra servers beyond the interpolation minimum.
+  const std::size_t k =
+      protocols::MultiServerSumSpfe::min_servers(kN, kT) + 2 * kErrors;
+  const protocols::MultiServerSumSpfe proto(f, kN, kM, k, kT);
+  std::vector<std::uint64_t> db(kN);
+  for (std::size_t i = 0; i < kN; ++i) db[i] = 100 + i;
+  const std::vector<std::size_t> indices = {3, 30, 60};
+  std::uint64_t expect = 0;
+  for (const std::size_t i : indices) expect += db[i];
+
+  crypto::Prg prg("ft");
+  protocols::MultiServerSumSpfe::ClientState state;
+  const auto queries = proto.make_queries(indices, state, prg);
+  std::vector<Bytes> answers;
+  for (std::size_t h = 0; h < k; ++h) {
+    answers.push_back(proto.answer(h, db, queries[h], nullptr));
+  }
+  // Two servers lie.
+  {
+    spfe::Writer w1, w2;
+    w1.u64(123456789);
+    w2.u64(987654321);
+    answers[1] = w1.take();
+    answers[4] = w2.take();
+  }
+  // Plain interpolation is now wrong...
+  EXPECT_NE(proto.decode(answers, state), expect);
+  // ...but error-correcting decoding recovers.
+  EXPECT_EQ(proto.decode_with_errors(answers, state, kErrors), expect);
+}
+
+TEST(MultiServerFaultTolerance, FormulaSurvivesOneCorruptAnswer) {
+  const Fp64 f(Fp64::kMersenne61);
+  const auto formula = circuits::Formula::parse("x0 & x1");
+  constexpr std::size_t kN = 16, kT = 1, kErrors = 1;
+  const std::size_t k =
+      protocols::MultiServerFormulaSpfe::min_servers(formula, kN, kT) + 2 * kErrors;
+  const protocols::MultiServerFormulaSpfe proto(f, formula, kN, k, kT);
+  std::vector<std::uint64_t> db(kN, 1);
+  crypto::Prg prg("ft2");
+  protocols::MultiServerFormulaSpfe::ClientState state;
+  const auto queries = proto.make_queries({2, 9}, state, prg);
+  std::vector<Bytes> answers;
+  for (std::size_t h = 0; h < k; ++h) {
+    answers.push_back(proto.answer(h, db, queries[h], nullptr));
+  }
+  spfe::Writer bad;
+  bad.u64(42424242);
+  answers[0] = bad.take();
+  EXPECT_EQ(proto.decode_with_errors(answers, state, kErrors), 1u);
+}
+
+TEST(MultiServerFaultTolerance, TooManyErrorsThrow) {
+  const Fp64 f(Fp64::kMersenne61);
+  constexpr std::size_t kN = 16, kM = 2, kT = 1;
+  const std::size_t k = protocols::MultiServerSumSpfe::min_servers(kN, kT) + 2;
+  const protocols::MultiServerSumSpfe proto(f, kN, kM, k, kT);
+  std::vector<std::uint64_t> db(kN, 5);
+  crypto::Prg prg("ft3");
+  protocols::MultiServerSumSpfe::ClientState state;
+  const auto queries = proto.make_queries({1, 2}, state, prg);
+  std::vector<Bytes> answers;
+  for (std::size_t h = 0; h < k; ++h) {
+    answers.push_back(proto.answer(h, db, queries[h], nullptr));
+  }
+  // Corrupt 3 answers with an error budget of 1: must throw, not lie.
+  for (const std::size_t h : {0u, 1u, 2u}) {
+    spfe::Writer w;
+    w.u64(h + 777777);
+    answers[h] = w.take();
+  }
+  EXPECT_THROW(proto.decode_with_errors(answers, state, 1), ProtocolError);
+}
+
+}  // namespace
+}  // namespace spfe::field

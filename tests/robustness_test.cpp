@@ -1,0 +1,187 @@
+// Adversarial-input robustness: every protocol parser must handle
+// malformed or truncated wire data by throwing spfe::Error (never crashing,
+// hanging, or throwing foreign exception types). Messages are mutated by
+// truncation, extension, and random byte flips.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "common/error.h"
+#include "crypto/prg.h"
+#include "field/fp64.h"
+#include "he/paillier.h"
+#include "mpc/yao.h"
+#include "mpc/yao_protocol.h"
+#include "ot/base_ot.h"
+#include "ot/ot_extension.h"
+#include "pir/batch_pir.h"
+#include "pir/cpir.h"
+#include "pir/itpir.h"
+
+namespace spfe {
+namespace {
+
+// Applies `handler` to systematically corrupted variants of `valid`.
+// The handler may succeed (garbage-in/garbage-out is acceptable for
+// semantically — but not syntactically — broken inputs) or throw
+// spfe::Error; anything else fails the test.
+void fuzz_message(const Bytes& valid, const std::function<void(const Bytes&)>& handler,
+                  const std::string& what) {
+  crypto::Prg prg("fuzz-" + what);
+  std::vector<Bytes> variants;
+  variants.push_back({});                                    // empty
+  variants.push_back(Bytes(valid.begin(), valid.begin() + static_cast<std::ptrdiff_t>(
+                                              valid.size() / 2)));  // truncated
+  {
+    Bytes extended = valid;
+    append(extended, prg.bytes(16));  // trailing junk
+    variants.push_back(std::move(extended));
+  }
+  for (int trial = 0; trial < 30; ++trial) {  // random single/multi byte flips
+    Bytes mutated = valid;
+    const std::size_t flips = 1 + prg.uniform(4);
+    for (std::size_t f = 0; f < flips && !mutated.empty(); ++f) {
+      mutated[prg.uniform(mutated.size())] ^= static_cast<std::uint8_t>(1 + prg.uniform(255));
+    }
+    variants.push_back(std::move(mutated));
+  }
+  variants.push_back(prg.bytes(valid.size()));  // pure noise
+
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    try {
+      handler(variants[v]);
+    } catch (const Error&) {
+      // Expected failure mode.
+    } catch (const std::exception& e) {
+      FAIL() << what << " variant " << v << ": foreign exception: " << e.what();
+    }
+  }
+}
+
+TEST(Robustness, PolyItPirServerRejectsMalformedQueries) {
+  const field::Fp64 f(field::Fp64::kMersenne61);
+  const pir::PolyItPir pir(f, 64, 7, 1);
+  std::vector<std::uint64_t> db(64, 5);
+  crypto::Prg prg("r1");
+  pir::PolyItPir::ClientState state;
+  const Bytes valid = pir.make_queries(3, state, prg)[0];
+  fuzz_message(valid, [&](const Bytes& q) { (void)pir.answer(0, db, q, nullptr); },
+               "itpir-query");
+}
+
+TEST(Robustness, PolyItPirClientRejectsMalformedAnswers) {
+  const field::Fp64 f(field::Fp64::kMersenne61);
+  const pir::PolyItPir pir(f, 64, 7, 1);
+  std::vector<std::uint64_t> db(64, 5);
+  crypto::Prg prg("r2");
+  pir::PolyItPir::ClientState state;
+  const auto queries = pir.make_queries(3, state, prg);
+  std::vector<Bytes> answers;
+  for (std::size_t h = 0; h < 7; ++h) answers.push_back(pir.answer(h, db, queries[h], nullptr));
+  fuzz_message(answers[0],
+               [&](const Bytes& a) {
+                 std::vector<Bytes> mutated = answers;
+                 mutated[0] = a;
+                 (void)pir.decode(mutated, state);
+               },
+               "itpir-answer");
+}
+
+TEST(Robustness, PaillierPirServerRejectsMalformedQueries) {
+  crypto::Prg prg("r3");
+  const auto sk = he::paillier_keygen(prg, 256);
+  const pir::PaillierPir pir(sk.public_key(), 16, 2);
+  std::vector<std::uint64_t> db(16, 9);
+  pir::PaillierPir::ClientState state;
+  const Bytes valid = pir.make_query(5, state, prg);
+  fuzz_message(valid, [&](const Bytes& q) { (void)pir.answer_u64(db, q, prg); },
+               "cpir-query");
+}
+
+TEST(Robustness, PaillierPirClientRejectsMalformedAnswers) {
+  crypto::Prg prg("r4");
+  const auto sk = he::paillier_keygen(prg, 256);
+  const pir::PaillierPir pir(sk.public_key(), 16, 2);
+  std::vector<std::uint64_t> db(16, 9);
+  pir::PaillierPir::ClientState state;
+  const Bytes valid = pir.answer_u64(db, pir.make_query(5, state, prg), prg);
+  fuzz_message(valid, [&](const Bytes& a) { (void)pir.decode_u64(sk, a); }, "cpir-answer");
+}
+
+TEST(Robustness, CuckooBatchPirServerRejectsMalformedQueries) {
+  crypto::Prg prg("r5");
+  const auto sk = he::paillier_keygen(prg, 256);
+  const pir::CuckooBatchPir pir(sk.public_key(), 50, 3, 1);
+  std::vector<std::uint64_t> db(50, 2);
+  pir::CuckooBatchPir::ClientState state;
+  const Bytes valid = pir.make_query({1, 2, 3}, state, prg);
+  fuzz_message(valid, [&](const Bytes& q) { (void)pir.answer_u64(db, q, prg); },
+               "batch-query");
+}
+
+TEST(Robustness, BaseOtSenderRejectsMalformedQueries) {
+  const ot::BaseOt ot(ot::SchnorrGroup::rfc_like_512());
+  crypto::Prg prg("r6");
+  std::vector<ot::OtReceiverState> states;
+  const Bytes valid = ot.make_query({true, false}, states, prg);
+  std::vector<std::pair<Bytes, Bytes>> msgs = {{Bytes(8, 1), Bytes(8, 2)},
+                                               {Bytes(8, 3), Bytes(8, 4)}};
+  fuzz_message(valid, [&](const Bytes& q) { (void)ot.answer(q, msgs, prg); }, "ot-query");
+}
+
+TEST(Robustness, BaseOtReceiverRejectsMalformedAnswers) {
+  const ot::BaseOt ot(ot::SchnorrGroup::rfc_like_512());
+  crypto::Prg prg("r7");
+  std::vector<ot::OtReceiverState> states;
+  const Bytes query = ot.make_query({true}, states, prg);
+  std::vector<std::pair<Bytes, Bytes>> msgs = {{Bytes(8, 1), Bytes(8, 2)}};
+  const Bytes valid = ot.answer(query, msgs, prg);
+  fuzz_message(valid, [&](const Bytes& a) { (void)ot.decode(a, states); }, "ot-answer");
+}
+
+TEST(Robustness, OtExtensionRejectsMalformedCorrections) {
+  const ot::SchnorrGroup group = ot::SchnorrGroup::rfc_like_512();
+  crypto::Prg sprg("r8s"), rprg("r8r");
+  ot::OtExtensionSender sender(group);
+  ot::OtExtensionReceiver receiver(group, std::vector<bool>(20, true));
+  const Bytes m1 = sender.start(sprg);
+  const Bytes valid = receiver.respond(m1, rprg);
+  std::vector<std::pair<Bytes, Bytes>> msgs(20, {Bytes(16, 1), Bytes(16, 2)});
+  fuzz_message(valid, [&](const Bytes& m2) { (void)sender.answer(m2, msgs); }, "ext-resp");
+}
+
+TEST(Robustness, GarbledCircuitDeserializeRejectsGarbage) {
+  circuits::BooleanCircuit c(2);
+  c.add_output(c.and_gate(0, 1));
+  crypto::Prg prg("r9");
+  const Bytes valid = mpc::garble(c, prg).garbled.serialize();
+  fuzz_message(valid, [&](const Bytes& b) { (void)mpc::GarbledCircuit::deserialize(b); },
+               "gc-bytes");
+}
+
+TEST(Robustness, YaoServerRejectsMalformedClientQuery) {
+  circuits::BooleanCircuit c(2);
+  c.add_output(c.and_gate(0, 1));
+  const ot::SchnorrGroup group = ot::SchnorrGroup::rfc_like_512();
+  crypto::Prg cprg("r10c"), sprg("r10s");
+  mpc::YaoEvaluatorClient client(c, {true}, group);
+  const Bytes valid = client.query(cprg);
+  fuzz_message(valid,
+               [&](const Bytes& q) {
+                 mpc::YaoGarblerServer server(c, {false}, group);
+                 (void)server.respond(q, sprg);
+               },
+               "yao-query");
+}
+
+TEST(Robustness, TwoServerXorPirRejectsBadQuerySizes) {
+  const pir::TwoServerXorPir pir(16, 4);
+  std::vector<Bytes> db(16, Bytes(4, 7));
+  crypto::Prg prg("r11");
+  pir::TwoServerXorPir::ClientState state;
+  const auto [q0, q1] = pir.make_queries(3, state, prg);
+  fuzz_message(q0, [&](const Bytes& q) { (void)pir.answer(db, q); }, "xor-query");
+}
+
+}  // namespace
+}  // namespace spfe

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/error.h"
+#include "field/fp64.h"
+#include "field/zp.h"
+#include "sharing/additive.h"
+#include "sharing/shamir.h"
+
+namespace spfe::sharing {
+namespace {
+
+using bignum::BigInt;
+using field::Fp64;
+using field::Zp;
+
+TEST(Additive, SplitCombineRoundTrip) {
+  crypto::Prg prg("additive");
+  for (std::uint64_t u : {2ull, 17ull, 1ull << 32, (1ull << 61) - 1}) {
+    for (int trial = 0; trial < 50; ++trial) {
+      const std::uint64_t secret = prg.uniform(u);
+      const AdditivePair p = additive_split(secret, u, prg);
+      EXPECT_LT(p.server_share, u);
+      EXPECT_LT(p.client_share, u);
+      EXPECT_EQ(additive_combine(p.server_share, p.client_share, u), secret);
+    }
+  }
+}
+
+TEST(Additive, ShareMarginalIsUniform) {
+  crypto::Prg prg("uniformity");
+  constexpr std::uint64_t kU = 5;
+  std::map<std::uint64_t, int> counts;
+  for (int trial = 0; trial < 5000; ++trial) {
+    counts[additive_split(3, kU, prg).client_share]++;
+  }
+  ASSERT_EQ(counts.size(), kU);
+  for (const auto& [v, c] : counts) {
+    EXPECT_GT(c, 800);
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(Additive, KPartySplit) {
+  crypto::Prg prg("kparty");
+  for (std::size_t k : {1u, 2u, 5u, 16u}) {
+    const std::uint64_t u = 1000003;
+    const std::uint64_t secret = prg.uniform(u);
+    const auto shares = additive_split_k(secret, u, k, prg);
+    ASSERT_EQ(shares.size(), k);
+    EXPECT_EQ(additive_combine_k(shares, u), secret);
+  }
+}
+
+TEST(Additive, RejectsBadModulus) {
+  crypto::Prg prg("bad");
+  EXPECT_THROW(additive_split(0, 0, prg), InvalidArgument);
+  EXPECT_THROW(additive_split(0, 1, prg), InvalidArgument);
+  EXPECT_THROW(additive_split_k(0, 5, 0, prg), InvalidArgument);
+}
+
+TEST(Shamir, SplitReconstructFp64) {
+  const Fp64 f(1009);
+  crypto::Prg prg("shamir");
+  for (std::size_t t : {1u, 2u, 4u}) {
+    const std::size_t k = 2 * t + 1;
+    const std::uint64_t secret = f.random(prg);
+    const auto shares = shamir_split(f, secret, k, t, prg);
+    ASSERT_EQ(shares.size(), k);
+    // Any t+1 of them reconstruct.
+    std::vector<ShamirShare<Fp64>> subset(shares.begin(),
+                                          shares.begin() + static_cast<std::ptrdiff_t>(t + 1));
+    EXPECT_EQ(shamir_reconstruct(f, subset), secret);
+    // A different subset too.
+    std::vector<ShamirShare<Fp64>> subset2(shares.end() - static_cast<std::ptrdiff_t>(t + 1),
+                                           shares.end());
+    EXPECT_EQ(shamir_reconstruct(f, subset2), secret);
+  }
+}
+
+TEST(Shamir, TSharesRevealNothing) {
+  // With threshold t, the distribution of any t shares is independent of the
+  // secret: check statistically for t=1 over a small field.
+  const Fp64 f(7);
+  std::map<std::uint64_t, int> counts_secret0, counts_secret3;
+  crypto::Prg prg("hiding");
+  for (int trial = 0; trial < 7000; ++trial) {
+    counts_secret0[shamir_split(f, std::uint64_t(0), 3, 1, prg)[0].y]++;
+    counts_secret3[shamir_split(f, std::uint64_t(3), 3, 1, prg)[0].y]++;
+  }
+  for (std::uint64_t v = 0; v < 7; ++v) {
+    const double ratio = static_cast<double>(counts_secret0[v]) /
+                         static_cast<double>(counts_secret3[v]);
+    EXPECT_GT(ratio, 0.75) << "share value " << v;
+    EXPECT_LT(ratio, 1.33) << "share value " << v;
+  }
+}
+
+TEST(Shamir, RejectsThresholdGeqShares) {
+  const Fp64 f(101);
+  crypto::Prg prg("bad-shamir");
+  EXPECT_THROW(shamir_split(f, std::uint64_t(5), 3, 3, prg), InvalidArgument);
+}
+
+TEST(Shamir, WorksOverZp) {
+  const Zp f(BigInt(1000003));
+  crypto::Prg prg("shamir-zp");
+  const BigInt secret(123456);
+  const auto shares = shamir_split(f, secret, 5, 2, prg);
+  std::vector<ShamirShare<Zp>> subset(shares.begin(), shares.begin() + 3);
+  EXPECT_EQ(shamir_reconstruct(f, subset), secret);
+}
+
+}  // namespace
+}  // namespace spfe::sharing
