@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_input_selection.dir/bench_input_selection.cpp.o"
+  "CMakeFiles/bench_input_selection.dir/bench_input_selection.cpp.o.d"
+  "bench_input_selection"
+  "bench_input_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_input_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_psm_spfe.dir/bench_psm_spfe.cpp.o"
+  "CMakeFiles/bench_psm_spfe.dir/bench_psm_spfe.cpp.o.d"
+  "bench_psm_spfe"
+  "bench_psm_spfe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_psm_spfe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_psm_spfe.
+# This may be replaced when dependencies are built.

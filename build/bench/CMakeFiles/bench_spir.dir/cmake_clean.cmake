@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spir.dir/bench_spir.cpp.o"
+  "CMakeFiles/bench_spir.dir/bench_spir.cpp.o.d"
+  "bench_spir"
+  "bench_spir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

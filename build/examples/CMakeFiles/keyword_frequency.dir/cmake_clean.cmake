@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keyword_frequency.dir/keyword_frequency.cpp.o"
+  "CMakeFiles/keyword_frequency.dir/keyword_frequency.cpp.o.d"
+  "keyword_frequency"
+  "keyword_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyword_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiserver_sum.dir/multiserver_sum.cpp.o"
+  "CMakeFiles/multiserver_sum.dir/multiserver_sum.cpp.o.d"
+  "multiserver_sum"
+  "multiserver_sum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiserver_sum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfect_privacy_match.dir/perfect_privacy_match.cpp.o"
+  "CMakeFiles/perfect_privacy_match.dir/perfect_privacy_match.cpp.o.d"
+  "perfect_privacy_match"
+  "perfect_privacy_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfect_privacy_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_salary_survey.dir/private_salary_survey.cpp.o"
+  "CMakeFiles/private_salary_survey.dir/private_salary_survey.cpp.o.d"
+  "private_salary_survey"
+  "private_salary_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_salary_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

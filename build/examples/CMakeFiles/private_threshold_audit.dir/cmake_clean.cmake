@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_threshold_audit.dir/private_threshold_audit.cpp.o"
+  "CMakeFiles/private_threshold_audit.dir/private_threshold_audit.cpp.o.d"
+  "private_threshold_audit"
+  "private_threshold_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_threshold_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

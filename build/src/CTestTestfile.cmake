@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("bignum")
+subdirs("field")
+subdirs("sharing")
+subdirs("net")
+subdirs("circuits")
+subdirs("he")
+subdirs("ot")
+subdirs("mpc")
+subdirs("pir")
+subdirs("psm")
+subdirs("spfe")
+subdirs("dbgen")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bignum/bigint.cpp" "src/bignum/CMakeFiles/spfe_bignum.dir/bigint.cpp.o" "gcc" "src/bignum/CMakeFiles/spfe_bignum.dir/bigint.cpp.o.d"
+  "/root/repo/src/bignum/modarith.cpp" "src/bignum/CMakeFiles/spfe_bignum.dir/modarith.cpp.o" "gcc" "src/bignum/CMakeFiles/spfe_bignum.dir/modarith.cpp.o.d"
+  "/root/repo/src/bignum/primes.cpp" "src/bignum/CMakeFiles/spfe_bignum.dir/primes.cpp.o" "gcc" "src/bignum/CMakeFiles/spfe_bignum.dir/primes.cpp.o.d"
+  "/root/repo/src/bignum/serialize.cpp" "src/bignum/CMakeFiles/spfe_bignum.dir/serialize.cpp.o" "gcc" "src/bignum/CMakeFiles/spfe_bignum.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/spfe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/spfe_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spfe_bignum.dir/bigint.cpp.o"
+  "CMakeFiles/spfe_bignum.dir/bigint.cpp.o.d"
+  "CMakeFiles/spfe_bignum.dir/modarith.cpp.o"
+  "CMakeFiles/spfe_bignum.dir/modarith.cpp.o.d"
+  "CMakeFiles/spfe_bignum.dir/primes.cpp.o"
+  "CMakeFiles/spfe_bignum.dir/primes.cpp.o.d"
+  "CMakeFiles/spfe_bignum.dir/serialize.cpp.o"
+  "CMakeFiles/spfe_bignum.dir/serialize.cpp.o.d"
+  "libspfe_bignum.a"
+  "libspfe_bignum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spfe_bignum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuits/arith_circuit.cpp" "src/circuits/CMakeFiles/spfe_circuits.dir/arith_circuit.cpp.o" "gcc" "src/circuits/CMakeFiles/spfe_circuits.dir/arith_circuit.cpp.o.d"
+  "/root/repo/src/circuits/boolean_circuit.cpp" "src/circuits/CMakeFiles/spfe_circuits.dir/boolean_circuit.cpp.o" "gcc" "src/circuits/CMakeFiles/spfe_circuits.dir/boolean_circuit.cpp.o.d"
+  "/root/repo/src/circuits/branching_program.cpp" "src/circuits/CMakeFiles/spfe_circuits.dir/branching_program.cpp.o" "gcc" "src/circuits/CMakeFiles/spfe_circuits.dir/branching_program.cpp.o.d"
+  "/root/repo/src/circuits/formula.cpp" "src/circuits/CMakeFiles/spfe_circuits.dir/formula.cpp.o" "gcc" "src/circuits/CMakeFiles/spfe_circuits.dir/formula.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/spfe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/spfe_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/spfe_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/spfe_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spfe_circuits.dir/arith_circuit.cpp.o"
+  "CMakeFiles/spfe_circuits.dir/arith_circuit.cpp.o.d"
+  "CMakeFiles/spfe_circuits.dir/boolean_circuit.cpp.o"
+  "CMakeFiles/spfe_circuits.dir/boolean_circuit.cpp.o.d"
+  "CMakeFiles/spfe_circuits.dir/branching_program.cpp.o"
+  "CMakeFiles/spfe_circuits.dir/branching_program.cpp.o.d"
+  "CMakeFiles/spfe_circuits.dir/formula.cpp.o"
+  "CMakeFiles/spfe_circuits.dir/formula.cpp.o.d"
+  "libspfe_circuits.a"
+  "libspfe_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spfe_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spfe_common.dir/bytes.cpp.o"
+  "CMakeFiles/spfe_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/spfe_common.dir/serialize.cpp.o"
+  "CMakeFiles/spfe_common.dir/serialize.cpp.o.d"
+  "libspfe_common.a"
+  "libspfe_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spfe_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spfe_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/spfe_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/spfe_crypto.dir/kdf.cpp.o"
+  "CMakeFiles/spfe_crypto.dir/kdf.cpp.o.d"
+  "CMakeFiles/spfe_crypto.dir/prg.cpp.o"
+  "CMakeFiles/spfe_crypto.dir/prg.cpp.o.d"
+  "CMakeFiles/spfe_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/spfe_crypto.dir/sha256.cpp.o.d"
+  "libspfe_crypto.a"
+  "libspfe_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spfe_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spfe_dbgen.dir/census.cpp.o"
+  "CMakeFiles/spfe_dbgen.dir/census.cpp.o.d"
+  "libspfe_dbgen.a"
+  "libspfe_dbgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spfe_dbgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/field/fp64.cpp" "src/field/CMakeFiles/spfe_field.dir/fp64.cpp.o" "gcc" "src/field/CMakeFiles/spfe_field.dir/fp64.cpp.o.d"
+  "/root/repo/src/field/gf2.cpp" "src/field/CMakeFiles/spfe_field.dir/gf2.cpp.o" "gcc" "src/field/CMakeFiles/spfe_field.dir/gf2.cpp.o.d"
+  "/root/repo/src/field/zp.cpp" "src/field/CMakeFiles/spfe_field.dir/zp.cpp.o" "gcc" "src/field/CMakeFiles/spfe_field.dir/zp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/spfe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/spfe_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/spfe_bignum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

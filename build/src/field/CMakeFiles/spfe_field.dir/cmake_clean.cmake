@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spfe_field.dir/fp64.cpp.o"
+  "CMakeFiles/spfe_field.dir/fp64.cpp.o.d"
+  "CMakeFiles/spfe_field.dir/gf2.cpp.o"
+  "CMakeFiles/spfe_field.dir/gf2.cpp.o.d"
+  "CMakeFiles/spfe_field.dir/zp.cpp.o"
+  "CMakeFiles/spfe_field.dir/zp.cpp.o.d"
+  "libspfe_field.a"
+  "libspfe_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spfe_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

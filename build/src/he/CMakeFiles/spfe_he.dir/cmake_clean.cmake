@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spfe_he.dir/goldwasser_micali.cpp.o"
+  "CMakeFiles/spfe_he.dir/goldwasser_micali.cpp.o.d"
+  "CMakeFiles/spfe_he.dir/paillier.cpp.o"
+  "CMakeFiles/spfe_he.dir/paillier.cpp.o.d"
+  "libspfe_he.a"
+  "libspfe_he.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spfe_he.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spfe_mpc.dir/arith_protocol.cpp.o"
+  "CMakeFiles/spfe_mpc.dir/arith_protocol.cpp.o.d"
+  "CMakeFiles/spfe_mpc.dir/yao.cpp.o"
+  "CMakeFiles/spfe_mpc.dir/yao.cpp.o.d"
+  "CMakeFiles/spfe_mpc.dir/yao_protocol.cpp.o"
+  "CMakeFiles/spfe_mpc.dir/yao_protocol.cpp.o.d"
+  "libspfe_mpc.a"
+  "libspfe_mpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spfe_mpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spfe_net.dir/network.cpp.o"
+  "CMakeFiles/spfe_net.dir/network.cpp.o.d"
+  "libspfe_net.a"
+  "libspfe_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spfe_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ot/base_ot.cpp" "src/ot/CMakeFiles/spfe_ot.dir/base_ot.cpp.o" "gcc" "src/ot/CMakeFiles/spfe_ot.dir/base_ot.cpp.o.d"
+  "/root/repo/src/ot/group.cpp" "src/ot/CMakeFiles/spfe_ot.dir/group.cpp.o" "gcc" "src/ot/CMakeFiles/spfe_ot.dir/group.cpp.o.d"
+  "/root/repo/src/ot/ot_extension.cpp" "src/ot/CMakeFiles/spfe_ot.dir/ot_extension.cpp.o" "gcc" "src/ot/CMakeFiles/spfe_ot.dir/ot_extension.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/spfe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/spfe_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/spfe_bignum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spfe_ot.dir/base_ot.cpp.o"
+  "CMakeFiles/spfe_ot.dir/base_ot.cpp.o.d"
+  "CMakeFiles/spfe_ot.dir/group.cpp.o"
+  "CMakeFiles/spfe_ot.dir/group.cpp.o.d"
+  "CMakeFiles/spfe_ot.dir/ot_extension.cpp.o"
+  "CMakeFiles/spfe_ot.dir/ot_extension.cpp.o.d"
+  "libspfe_ot.a"
+  "libspfe_ot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spfe_ot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

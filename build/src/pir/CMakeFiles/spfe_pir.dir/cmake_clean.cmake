@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spfe_pir.dir/batch_pir.cpp.o"
+  "CMakeFiles/spfe_pir.dir/batch_pir.cpp.o.d"
+  "CMakeFiles/spfe_pir.dir/cpir.cpp.o"
+  "CMakeFiles/spfe_pir.dir/cpir.cpp.o.d"
+  "CMakeFiles/spfe_pir.dir/itpir.cpp.o"
+  "CMakeFiles/spfe_pir.dir/itpir.cpp.o.d"
+  "libspfe_pir.a"
+  "libspfe_pir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spfe_pir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

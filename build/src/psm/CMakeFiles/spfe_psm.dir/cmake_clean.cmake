@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spfe_psm.dir/psm.cpp.o"
+  "CMakeFiles/spfe_psm.dir/psm.cpp.o.d"
+  "CMakeFiles/spfe_psm.dir/psm_bp.cpp.o"
+  "CMakeFiles/spfe_psm.dir/psm_bp.cpp.o.d"
+  "libspfe_psm.a"
+  "libspfe_psm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spfe_psm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

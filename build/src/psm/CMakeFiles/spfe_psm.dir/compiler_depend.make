@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for spfe_psm.
+# This may be replaced when dependencies are built.

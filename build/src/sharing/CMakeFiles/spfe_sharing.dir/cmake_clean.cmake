@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spfe_sharing.dir/additive.cpp.o"
+  "CMakeFiles/spfe_sharing.dir/additive.cpp.o.d"
+  "libspfe_sharing.a"
+  "libspfe_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spfe_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

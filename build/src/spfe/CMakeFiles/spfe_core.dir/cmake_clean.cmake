@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spfe_core.dir/input_selection.cpp.o"
+  "CMakeFiles/spfe_core.dir/input_selection.cpp.o.d"
+  "CMakeFiles/spfe_core.dir/multiserver.cpp.o"
+  "CMakeFiles/spfe_core.dir/multiserver.cpp.o.d"
+  "CMakeFiles/spfe_core.dir/psm_spfe.cpp.o"
+  "CMakeFiles/spfe_core.dir/psm_spfe.cpp.o.d"
+  "CMakeFiles/spfe_core.dir/stats.cpp.o"
+  "CMakeFiles/spfe_core.dir/stats.cpp.o.d"
+  "CMakeFiles/spfe_core.dir/two_phase.cpp.o"
+  "CMakeFiles/spfe_core.dir/two_phase.cpp.o.d"
+  "libspfe_core.a"
+  "libspfe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spfe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

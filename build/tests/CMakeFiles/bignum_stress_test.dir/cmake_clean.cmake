@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bignum_stress_test.dir/bignum_stress_test.cpp.o"
+  "CMakeFiles/bignum_stress_test.dir/bignum_stress_test.cpp.o.d"
+  "bignum_stress_test"
+  "bignum_stress_test.pdb"
+  "bignum_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bignum_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

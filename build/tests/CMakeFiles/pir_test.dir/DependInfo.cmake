@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pir_test.cpp" "tests/CMakeFiles/pir_test.dir/pir_test.cpp.o" "gcc" "tests/CMakeFiles/pir_test.dir/pir_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pir/CMakeFiles/spfe_pir.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/spfe_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/he/CMakeFiles/spfe_he.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/spfe_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/spfe_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spfe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pir_test.dir/pir_test.cpp.o"
+  "CMakeFiles/pir_test.dir/pir_test.cpp.o.d"
+  "pir_test"
+  "pir_test.pdb"
+  "pir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spfe_multiserver_test.dir/spfe_multiserver_test.cpp.o"
+  "CMakeFiles/spfe_multiserver_test.dir/spfe_multiserver_test.cpp.o.d"
+  "spfe_multiserver_test"
+  "spfe_multiserver_test.pdb"
+  "spfe_multiserver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spfe_multiserver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

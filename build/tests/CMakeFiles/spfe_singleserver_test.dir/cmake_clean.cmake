@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spfe_singleserver_test.dir/spfe_singleserver_test.cpp.o"
+  "CMakeFiles/spfe_singleserver_test.dir/spfe_singleserver_test.cpp.o.d"
+  "spfe_singleserver_test"
+  "spfe_singleserver_test.pdb"
+  "spfe_singleserver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spfe_singleserver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spfe_stats_test.dir/spfe_stats_test.cpp.o"
+  "CMakeFiles/spfe_stats_test.dir/spfe_stats_test.cpp.o.d"
+  "spfe_stats_test"
+  "spfe_stats_test.pdb"
+  "spfe_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spfe_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

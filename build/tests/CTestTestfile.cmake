@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/bignum_test[1]_include.cmake")
+include("/root/repo/build/tests/field_test[1]_include.cmake")
+include("/root/repo/build/tests/sharing_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/circuits_test[1]_include.cmake")
+include("/root/repo/build/tests/he_test[1]_include.cmake")
+include("/root/repo/build/tests/ot_test[1]_include.cmake")
+include("/root/repo/build/tests/mpc_test[1]_include.cmake")
+include("/root/repo/build/tests/pir_test[1]_include.cmake")
+include("/root/repo/build/tests/psm_test[1]_include.cmake")
+include("/root/repo/build/tests/spfe_multiserver_test[1]_include.cmake")
+include("/root/repo/build/tests/spfe_singleserver_test[1]_include.cmake")
+include("/root/repo/build/tests/spfe_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/reed_solomon_test[1]_include.cmake")
+include("/root/repo/build/tests/psm_bp_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/bignum_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
