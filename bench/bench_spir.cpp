@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/parallel.h"
 #include "he/paillier.h"
 #include "pir/batch_pir.h"
 #include "pir/cpir.h"
@@ -44,6 +45,39 @@ int main() {
                  bench::fmt("%.0f", server_ms), bench::fmt("%.1f", s_client.ms()),
                  got == db[1234] ? "yes" : "WRONG"});
     }
+    table.print();
+  }
+
+  // --- threaded server fold --------------------------------------------------
+  std::printf("\n--- cPIR server answer vs thread count (n = 4096, depth 2) ---\n");
+  {
+    constexpr std::size_t kN = 4096;
+    std::vector<std::uint64_t> db(kN);
+    for (std::size_t i = 0; i < kN; ++i) db[i] = (i * 29 + 1) % 100000;
+    const pir::PaillierPir p(sk.public_key(), kN, 2);
+    pir::PaillierPir::ClientState state;
+    crypto::Prg qprg("e5-threads-query");
+    const Bytes query = p.make_query(1234, state, qprg);
+    bench::Table table({"threads", "server ms", "speedup", "answer identical"});
+    double serial_ms = 0;
+    Bytes serial_answer;
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+      common::ThreadPool::set_global_threads(threads);
+      // Identically seeded per run: the transcript must not depend on the
+      // thread count (randomness is pre-drawn serially in the fold).
+      crypto::Prg aprg("e5-threads-answer");
+      bench::Stopwatch sw;
+      const Bytes answer = p.answer_u64(db, query, aprg);
+      const double ms = sw.ms();
+      if (threads == 1) {
+        serial_ms = ms;
+        serial_answer = answer;
+      }
+      table.add({std::to_string(threads), bench::fmt("%.0f", ms),
+                 bench::fmt("%.2fx", serial_ms / ms),
+                 answer == serial_answer ? "yes" : "NO (BUG)"});
+    }
+    common::ThreadPool::set_global_threads(0);  // back to SPFE_THREADS / hw default
     table.print();
   }
 

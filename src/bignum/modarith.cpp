@@ -102,10 +102,16 @@ int jacobi(const BigInt& a_in, const BigInt& n_in) {
 }
 
 BigInt crt_combine(const BigInt& r1, const BigInt& m1, const BigInt& r2, const BigInt& m2) {
-  // x = r1 + m1 * ((r2 - r1) * m1^{-1} mod m2)
-  const BigInt m1_inv = mod_inverse(m1, m2);
-  const BigInt t = mod_mul(mod_sub(r2, r1, m2), m1_inv, m2);
-  return (r1 + m1 * t).mod_floor(m1 * m2);
+  return crt_combine(r1, m1, r2, m2, mod_inverse(m1, m2));
+}
+
+BigInt crt_combine(const BigInt& r1, const BigInt& m1, const BigInt& r2, const BigInt& m2,
+                   const BigInt& m1_inv_mod_m2) {
+  // x = r1 + m1 * ((r2 - r1) * m1^{-1} mod m2); with r1 reduced into
+  // [0, m1) first, x lands in [0, m1*m2) directly — no wide final division.
+  const BigInt r1r = r1.mod_floor(m1);
+  const BigInt t = mod_mul(mod_sub(r2, r1r, m2), m1_inv_mod_m2, m2);
+  return r1r + m1 * t;
 }
 
 MontgomeryContext::MontgomeryContext(const BigInt& modulus) : modulus_(modulus) {

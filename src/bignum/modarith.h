@@ -40,6 +40,11 @@ int jacobi(const BigInt& a, const BigInt& n);
 // Solves x = r1 (mod m1), x = r2 (mod m2) for coprime m1, m2;
 // returns x in [0, m1*m2).
 BigInt crt_combine(const BigInt& r1, const BigInt& m1, const BigInt& r2, const BigInt& m2);
+// Same, with m1^{-1} mod m2 precomputed — for hot paths (CRT Paillier
+// decryption) that combine under fixed moduli and shouldn't pay an
+// extended-gcd per call.
+BigInt crt_combine(const BigInt& r1, const BigInt& m1, const BigInt& r2, const BigInt& m2,
+                   const BigInt& m1_inv_mod_m2);
 
 // Montgomery multiplication context for a fixed odd modulus.
 class MontgomeryContext {

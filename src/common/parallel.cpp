@@ -1,0 +1,179 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+
+namespace spfe::common {
+namespace {
+
+// Set while this thread participates in a parallel region — as a pool
+// worker or as the caller that dispatched the job. Nested parallel sections
+// degrade to serial execution instead of re-entering the busy pool (which
+// would clobber the in-flight job state).
+thread_local bool t_in_parallel_region = false;
+
+std::mutex g_global_mu;
+std::unique_ptr<ThreadPool> g_global_pool;
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable start_cv;
+  std::condition_variable done_cv;
+  std::vector<std::thread> workers;
+
+  // Current job, published under `mu`. `generation` increments per job so
+  // sleeping workers can tell a fresh job from the one they just finished.
+  const std::function<void(std::size_t)>* job = nullptr;
+  std::size_t job_blocks = 0;
+  std::size_t participants = 0;
+  std::uint64_t generation = 0;
+  std::size_t workers_pending = 0;
+  std::exception_ptr first_error;
+  bool stop = false;
+
+  void record_error(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!first_error) first_error = std::move(e);
+  }
+
+  // Participant `who` executes its statically assigned blocks.
+  void run_participant(std::size_t who, std::size_t blocks, std::size_t n_participants,
+                       const std::function<void(std::size_t)>& fn) {
+    for (std::size_t b = who; b < blocks; b += n_participants) {
+      try {
+        fn(b);
+      } catch (...) {
+        record_error(std::current_exception());
+      }
+    }
+  }
+
+  void worker_loop(std::size_t worker_index) {
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+      const std::function<void(std::size_t)>* fn = nullptr;
+      std::size_t blocks = 0;
+      std::size_t n_participants = 0;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        start_cv.wait(lock, [&] { return stop || generation != seen_generation; });
+        if (stop) return;
+        seen_generation = generation;
+        fn = job;
+        blocks = job_blocks;
+        n_participants = participants;
+      }
+      t_in_parallel_region = true;
+      run_participant(worker_index + 1, blocks, n_participants, *fn);
+      t_in_parallel_region = false;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        --workers_pending;
+        if (workers_pending == 0) done_cv.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : threads_(std::max<std::size_t>(threads, 1)), impl_(std::make_unique<Impl>()) {
+  for (std::size_t w = 0; w + 1 < threads_; ++w) {
+    impl_->workers.emplace_back([this, w] { impl_->worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->start_cv.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+}
+
+void ThreadPool::run_blocks(std::size_t blocks, const std::function<void(std::size_t)>& fn) {
+  if (blocks == 0) return;
+  // Serial fast paths: a 1-thread pool, a single block, or a nested call
+  // from any thread already inside a parallel region (the pool is busy
+  // running the outer job; re-entering would corrupt its state).
+  if (threads_ == 1 || blocks == 1 || t_in_parallel_region) {
+    for (std::size_t b = 0; b < blocks; ++b) fn(b);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->job = &fn;
+    impl_->job_blocks = blocks;
+    impl_->participants = threads_;
+    impl_->workers_pending = impl_->workers.size();
+    impl_->first_error = nullptr;
+    ++impl_->generation;
+  }
+  impl_->start_cv.notify_all();
+  t_in_parallel_region = true;
+  impl_->run_participant(0, blocks, threads_, fn);
+  t_in_parallel_region = false;
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    impl_->done_cv.wait(lock, [&] { return impl_->workers_pending == 0; });
+    impl_->job = nullptr;
+    error = impl_->first_error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+std::size_t ThreadPool::env_thread_count() {
+  if (const char* env = std::getenv("SPFE_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  if (!g_global_pool) g_global_pool = std::make_unique<ThreadPool>(env_thread_count());
+  return *g_global_pool;
+}
+
+void ThreadPool::set_global_threads(std::size_t threads) {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  g_global_pool =
+      std::make_unique<ThreadPool>(threads == 0 ? env_thread_count() : threads);
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  parallel_for_range(n, [&fn](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void parallel_for_range(std::size_t n,
+                        const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t blocks = std::min(pool.thread_count(), n);
+  if (blocks <= 1) {
+    fn(0, n);
+    return;
+  }
+  pool.run_blocks(blocks, [&](std::size_t b) {
+    // Near-equal contiguous split; depends only on (n, blocks), never on
+    // scheduling, so index ownership is deterministic.
+    fn(b * n / blocks, (b + 1) * n / blocks);
+  });
+}
+
+}  // namespace spfe::common

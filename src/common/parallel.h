@@ -1,0 +1,69 @@
+// Deterministic fork-join parallelism for the crypto hot paths.
+//
+// A fixed-size `ThreadPool` executes statically partitioned index ranges —
+// there is no work stealing and no dynamic chunking, so the mapping from
+// index to block is a pure function of (n, thread_count). Every call site
+// keeps protocol outputs *bit-identical* for any thread count by obeying two
+// rules:
+//   1. all PRG draws happen serially on the calling thread, in the same
+//      order a fully serial run would perform them (pre-draw, then fan out);
+//   2. parallel bodies write only to state owned by their own index.
+// Under those rules the thread count is a pure performance knob: transcripts,
+// ciphertexts, and CommStats are unchanged between SPFE_THREADS=1 and =64.
+//
+// Thread count resolution: the `SPFE_THREADS` environment variable if set to
+// a positive integer, otherwise `std::thread::hardware_concurrency()`.
+// SPFE_THREADS=1 is fully serial (no worker threads are ever created or
+// woken), which is the debugging/sanitizer-friendly mode.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace spfe::common {
+
+class ThreadPool {
+ public:
+  // `threads` >= 1 is the total parallelism including the calling thread,
+  // so `threads - 1` workers are spawned. threads == 1 spawns none.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return threads_; }
+
+  // Process-wide pool, created on first use from env_thread_count().
+  static ThreadPool& global();
+  // Rebuilds the global pool with `threads` participants (0 = re-read the
+  // environment). For tests and benchmark ablations; must not be called
+  // concurrently with parallel work.
+  static void set_global_threads(std::size_t threads);
+  // SPFE_THREADS if set to a positive integer, else hardware_concurrency().
+  static std::size_t env_thread_count();
+
+  // Runs fn(b) for b in [0, blocks). Block b is executed by participant
+  // b % thread_count(); the calling thread is participant 0. Blocks are
+  // never split, stolen, or reordered within a participant. Rethrows the
+  // first exception after all blocks finish. Nested calls from inside a
+  // pool worker run serially on that worker.
+  void run_blocks(std::size_t blocks, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Impl;
+  std::size_t threads_;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Invokes fn(i) for every i in [0, n). The range is cut into at most
+// thread_count() contiguous blocks of near-equal size; fn must only write to
+// per-index state (see the determinism rules above).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+// Range flavor for bodies that amortize per-block setup: fn(begin, end) over
+// the same static partition as parallel_for.
+void parallel_for_range(std::size_t n,
+                        const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace spfe::common

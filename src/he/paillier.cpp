@@ -3,6 +3,7 @@
 #include "bignum/primes.h"
 #include "bignum/serialize.h"
 #include "common/error.h"
+#include "common/parallel.h"
 
 namespace spfe::he {
 
@@ -35,17 +36,21 @@ BigInt PaillierPublicKey::add(const BigInt& ca, const BigInt& cb) const {
 }
 
 BigInt PaillierPublicKey::mul_scalar(const BigInt& c, const BigInt& scalar) const {
-  if (scalar.is_negative()) {
-    const BigInt inv = bignum::mod_inverse(c, n2_);
-    return mont_n2_.pow(inv, -scalar);
-  }
-  return mont_n2_.pow(c, scalar);
+  // Reduce the scalar into [0, N) first: exponents congruent mod N encrypt
+  // the same plaintext (c*a mod N), so the reduction is semantics-preserving,
+  // bounds the modexp at |N| bits however large the protocol-level scalar
+  // is, and folds the negative-scalar case into the same single modexp.
+  return mont_n2_.pow(c, scalar.mod_floor(n_));
 }
 
 BigInt PaillierPublicKey::negate(const BigInt& c) const { return bignum::mod_inverse(c, n2_); }
 
 BigInt PaillierPublicKey::rerandomize(const BigInt& c, crypto::Prg& prg) const {
   const BigInt r = BigInt::random_below(prg, n_ - BigInt(1)) + BigInt(1);
+  return rerandomize_with_randomness(c, r);
+}
+
+BigInt PaillierPublicKey::rerandomize_with_randomness(const BigInt& c, const BigInt& r) const {
   return bignum::mod_mul(c, mont_n2_.pow(r, n_), n2_);
 }
 
@@ -55,24 +60,88 @@ PaillierPublicKey PaillierPublicKey::deserialize(Reader& r) {
   return PaillierPublicKey(bignum::read_bigint(r));
 }
 
-PaillierPrivateKey::PaillierPrivateKey(BigInt p, BigInt q) : pk_(p * q) {
+namespace {
+
+// Keygen guarantees gcd(N, phi(N)) = 1 (needed for the decryption equation
+// to hold), but the constructor is public and can be handed adversarial
+// factors — enforce the invariant here rather than trusting the caller.
+BigInt checked_modulus(const BigInt& p, const BigInt& q) {
   if (p == q) throw InvalidArgument("PaillierPrivateKey: p and q must differ");
-  const BigInt p1 = p - BigInt(1);
-  const BigInt q1 = q - BigInt(1);
-  lambda_ = (p1 * q1) / bignum::gcd(p1, q1);  // lcm
+  if (p <= BigInt(2) || q <= BigInt(2) || !p.is_odd() || !q.is_odd()) {
+    throw InvalidArgument("PaillierPrivateKey: p and q must be odd and > 2");
+  }
+  if (!bignum::gcd(p, q).is_one()) {
+    throw InvalidArgument("PaillierPrivateKey: p and q must be coprime");
+  }
+  const BigInt n = p * q;
+  if (!bignum::gcd(n, (p - BigInt(1)) * (q - BigInt(1))).is_one()) {
+    throw InvalidArgument("PaillierPrivateKey: gcd(N, phi(N)) must be 1");
+  }
+  return n;
+}
+
+}  // namespace
+
+PaillierPrivateKey::PaillierPrivateKey(BigInt p, BigInt q)
+    : pk_(checked_modulus(p, q)),
+      p_(std::move(p)),
+      q_(std::move(q)),
+      p2_(p_ * p_),
+      q2_(q_ * q_),
+      mont_p2_(p2_),
+      mont_q2_(q2_),
+      ep_(p_ - BigInt(1)),
+      eq_(q_ - BigInt(1)) {
+  lambda_ = (ep_ * eq_) / bignum::gcd(ep_, eq_);  // lcm(p-1, q-1)
   // mu = (L(g^lambda mod N^2))^{-1} mod N; with g = N+1,
   // g^lambda = 1 + lambda*N mod N^2, so L(g^lambda) = lambda mod N.
   mu_ = bignum::mod_inverse(lambda_, pk_.n());
+  // CRT precomputation. For c = g^m r^N in Z_{N^2}^*, working mod p^2:
+  // c^{p-1} = (1+N)^{m(p-1)} * (r^{p(p-1)})^q = 1 + m(p-1)N mod p^2, so
+  // L_p(c^{p-1} mod p^2) = m * (p-1) * q mod p and multiplying by
+  // hp = ((p-1)q)^{-1} mod p recovers m mod p. Symmetrically mod q.
+  hp_ = bignum::mod_inverse(bignum::mod_mul(ep_, q_, p_), p_);
+  hq_ = bignum::mod_inverse(bignum::mod_mul(eq_, p_, q_), q_);
+  pinv_q_ = bignum::mod_inverse(p_, q_);
+}
+
+void PaillierPrivateKey::check_ciphertext(const BigInt& c) const {
+  if (c.is_negative() || c >= pk_.n_squared()) {
+    throw InvalidArgument("Paillier decrypt: ciphertext range");
+  }
 }
 
 BigInt PaillierPrivateKey::decrypt(const BigInt& c) const {
+  check_ciphertext(c);
+  const BigInt cp = c.mod_floor(p2_);
+  const BigInt cq = c.mod_floor(q2_);
+  // gcd(c, N) is 1 unless p or q divides c — check the residues directly
+  // rather than running Euclid on the 2|N|-bit ciphertext.
+  if (cp.mod_floor(p_).is_zero() || cq.mod_floor(q_).is_zero()) {
+    throw CryptoError("Paillier decrypt: invalid ciphertext");
+  }
+  const BigInt up = mont_p2_.pow(cp, ep_);
+  const BigInt mp = bignum::mod_mul((up - BigInt(1)) / p_, hp_, p_);
+  const BigInt uq = mont_q2_.pow(cq, eq_);
+  const BigInt mq = bignum::mod_mul((uq - BigInt(1)) / q_, hq_, q_);
+  return bignum::crt_combine(mp, p_, mq, q_, pinv_q_);
+}
+
+BigInt PaillierPrivateKey::decrypt_reference(const BigInt& c) const {
+  check_ciphertext(c);
+  if (!bignum::gcd(c, pk_.n()).is_one()) {
+    throw CryptoError("Paillier decrypt: invalid ciphertext");
+  }
   const BigInt& n = pk_.n();
-  const BigInt& n2 = pk_.n_squared();
-  if (c.is_negative() || c >= n2) throw InvalidArgument("Paillier decrypt: ciphertext range");
-  if (!bignum::gcd(c, n).is_one()) throw CryptoError("Paillier decrypt: invalid ciphertext");
-  const BigInt u = bignum::mod_pow(c, lambda_, n2);
+  const BigInt u = bignum::mod_pow(c, lambda_, pk_.n_squared());
   const BigInt l = (u - BigInt(1)) / n;  // L function
   return bignum::mod_mul(l, mu_, n);
+}
+
+std::vector<BigInt> PaillierPrivateKey::decrypt_all(std::span<const BigInt> cts) const {
+  std::vector<BigInt> out(cts.size());
+  common::parallel_for(cts.size(), [&](std::size_t i) { out[i] = decrypt(cts[i]); });
+  return out;
 }
 
 BigInt PaillierPrivateKey::decrypt_signed(const BigInt& c) const {

@@ -4,6 +4,7 @@
 
 #include "bignum/serialize.h"
 #include "common/error.h"
+#include "common/parallel.h"
 #include "common/serialize.h"
 
 namespace spfe::pir {
@@ -85,31 +86,46 @@ Bytes PaillierPir::answer_chunks(std::vector<std::vector<BigInt>> items, BytesVi
   r.expect_done();
 
   const std::size_t cb = chunk_bytes();
+  const BigInt rand_bound = pk_.n() - BigInt(1);
   for (std::size_t level = 0; level < dims_.size(); ++level) {
     const std::size_t dim = dims_[level];
     const std::size_t groups = (items.size() + dim - 1) / dim;
-    std::vector<std::vector<BigInt>> folded(groups);
     const std::size_t chunks = items.empty() ? 0 : items[0].size();
-    for (std::size_t g = 0; g < groups; ++g) {
-      folded[g].resize(chunks);
-      for (std::size_t c = 0; c < chunks; ++c) {
-        BigInt acc = pk_.encrypt(BigInt(0), prg);
-        for (std::size_t row = 0; row < dim; ++row) {
-          const std::size_t idx = g * dim + row;
-          if (idx >= items.size()) break;
-          if (items[idx][c].is_zero()) continue;  // exponent 0 contributes nothing
-          acc = pk_.add(acc, pk_.mul_scalar(selectors[level][row], items[idx][c]));
-        }
-        folded[g][c] = std::move(acc);
+    // Draw each cell's encrypt(0) randomness serially in (group, chunk)
+    // order — exactly the order a serial fold consumes the PRG — so the
+    // answer bytes are identical for every thread count.
+    std::vector<BigInt> rand0(groups * chunks);
+    for (BigInt& r : rand0) r = BigInt::random_below(prg, rand_bound) + BigInt(1);
+    std::vector<std::vector<BigInt>> folded(groups);
+    for (auto& group : folded) group.resize(chunks);
+    // Each (group, chunk) cell is an independent product of modexps; fan
+    // the cells out across the pool.
+    common::parallel_for(groups * chunks, [&](std::size_t cell) {
+      const std::size_t g = cell / chunks;
+      const std::size_t c = cell % chunks;
+      BigInt acc = pk_.encrypt_with_randomness(BigInt(0), rand0[cell]);
+      for (std::size_t row = 0; row < dim; ++row) {
+        const std::size_t idx = g * dim + row;
+        if (idx >= items.size()) break;
+        if (items[idx][c].is_zero()) continue;  // exponent 0 contributes nothing
+        acc = pk_.add(acc, pk_.mul_scalar(selectors[level][row], items[idx][c]));
       }
-    }
+      folded[g][c] = std::move(acc);
+    });
     if (level + 1 == dims_.size()) {
-      // Final level: emit the ciphertexts.
+      // Final level: rerandomize (randomness pre-drawn serially, modexps
+      // parallel) and emit the ciphertexts.
       if (folded.size() != 1) throw InvalidArgument("PaillierPir: dimension mismatch");
+      std::vector<BigInt>& out = folded[0];
+      std::vector<BigInt> rr(out.size());
+      for (BigInt& r : rr) r = BigInt::random_below(prg, rand_bound) + BigInt(1);
+      common::parallel_for(out.size(), [&](std::size_t i) {
+        out[i] = pk_.rerandomize_with_randomness(out[i], rr[i]);
+      });
       Writer w;
-      w.varint(folded[0].size());
-      for (BigInt& ct : folded[0]) {
-        w.raw(pk_.rerandomize(ct, prg).to_bytes_be_padded(pk_.ciphertext_bytes()));
+      w.varint(out.size());
+      for (const BigInt& ct : out) {
+        w.raw(ct.to_bytes_be_padded(pk_.ciphertext_bytes()));
       }
       return w.take();
     }
@@ -184,9 +200,7 @@ std::vector<BigInt> PaillierPir::decode_chunks(const he::PaillierPrivateKey& sk,
   // ciphertexts, repeat. After peeling depth-1 levels, `cts` holds the
   // level-0 ciphertexts whose plaintexts are the item chunks.
   for (std::size_t level = dims_.size(); level-- > 1;) {
-    std::vector<BigInt> plain;
-    plain.reserve(cts.size());
-    for (const BigInt& ct : cts) plain.push_back(sk.decrypt(ct));
+    const std::vector<BigInt> plain = sk.decrypt_all(cts);
     if (plain.size() % pieces != 0) throw ProtocolError("PaillierPir: bad answer shape");
     std::vector<BigInt> inner;
     inner.reserve(plain.size() / pieces);
@@ -200,10 +214,7 @@ std::vector<BigInt> PaillierPir::decode_chunks(const he::PaillierPrivateKey& sk,
     cts = std::move(inner);
   }
   if (cts.size() != level0_chunks) throw ProtocolError("PaillierPir: bad chunk count");
-  std::vector<BigInt> chunks;
-  chunks.reserve(cts.size());
-  for (const BigInt& ct : cts) chunks.push_back(sk.decrypt(ct));
-  return chunks;
+  return sk.decrypt_all(cts);
 }
 
 std::uint64_t PaillierPir::decode_u64(const he::PaillierPrivateKey& sk, BytesView answer) const {

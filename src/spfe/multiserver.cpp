@@ -1,6 +1,7 @@
 #include "spfe/multiserver.h"
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "common/serialize.h"
 #include "field/polynomial.h"
 #include "field/reed_solomon.h"
@@ -128,10 +129,17 @@ std::uint64_t run_star(const Protocol& proto, net::StarNetwork& net,
   typename Protocol::ClientState state;
   const auto queries = proto.make_queries(indices, state, prg);
   for (std::size_t h = 0; h < queries.size(); ++h) net.client_send(h, queries[h]);
-  for (std::size_t h = 0; h < queries.size(); ++h) {
-    const Bytes q = net.server_receive(h);
-    net.server_send(h, proto.answer(h, database, q, spir_seed ? &*spir_seed : nullptr));
-  }
+  std::vector<Bytes> received(queries.size());
+  for (std::size_t h = 0; h < queries.size(); ++h) received[h] = net.server_receive(h);
+  // The k servers evaluate concurrently (each answer() is pure in shared
+  // state), then enqueue sequentially in server order so CommStats metering
+  // and round detection stay byte-identical to a serial run.
+  const crypto::Prg::Seed* seed = spir_seed ? &*spir_seed : nullptr;
+  std::vector<Bytes> computed(queries.size());
+  common::parallel_for(queries.size(), [&](std::size_t h) {
+    computed[h] = proto.answer(h, database, received[h], seed);
+  });
+  for (std::size_t h = 0; h < queries.size(); ++h) net.server_send(h, std::move(computed[h]));
   std::vector<Bytes> answers;
   answers.reserve(queries.size());
   for (std::size_t h = 0; h < queries.size(); ++h) answers.push_back(net.client_receive(h));

@@ -100,6 +100,89 @@ TEST_F(PaillierTest, PublicKeySerializationRoundTrip) {
 TEST_F(PaillierTest, DecryptValidatesRange) {
   EXPECT_THROW(sk_.decrypt(sk_.public_key().n_squared()), InvalidArgument);
   EXPECT_THROW(sk_.decrypt(BigInt(-1)), InvalidArgument);
+  EXPECT_THROW(sk_.decrypt_reference(sk_.public_key().n_squared()), InvalidArgument);
+  EXPECT_THROW(sk_.decrypt_reference(BigInt(-1)), InvalidArgument);
+}
+
+TEST_F(PaillierTest, DecryptBoundaryPlaintexts) {
+  // m = 0, N-1, floor(N/2), floor(N/2)+1 — the wrap points of decrypt and
+  // decrypt_signed. N is odd, so half = (N-1)/2 and half+1 decrypts signed
+  // to -half.
+  const auto& pk = sk_.public_key();
+  const BigInt n = pk.n();
+  const BigInt half = n >> 1;
+  const struct {
+    BigInt m;
+    BigInt expected_signed;
+  } cases[] = {
+      {BigInt(0), BigInt(0)},
+      {n - BigInt(1), BigInt(-1)},
+      {half, half},
+      {half + BigInt(1), -half},
+  };
+  for (const auto& tc : cases) {
+    const BigInt c = pk.encrypt(tc.m, prg_);
+    EXPECT_EQ(sk_.decrypt(c), tc.m);
+    EXPECT_EQ(sk_.decrypt_reference(c), tc.m);
+    EXPECT_EQ(sk_.decrypt_signed(c), tc.expected_signed);
+  }
+}
+
+TEST_F(PaillierTest, CrtMatchesReferenceOnRandomCiphertexts) {
+  // 1000 uniform elements of Z_{N^2}^* — not just well-formed encryptions —
+  // must decrypt identically through the CRT and reference paths.
+  const BigInt& n2 = sk_.public_key().n_squared();
+  const BigInt& n = sk_.public_key().n();
+  std::size_t checked = 0;
+  while (checked < 1000) {
+    const BigInt c = BigInt::random_below(prg_, n2);
+    if (!bignum::gcd(c, n).is_one()) continue;  // negligible; would factor N
+    EXPECT_EQ(sk_.decrypt(c), sk_.decrypt_reference(c));
+    ++checked;
+  }
+}
+
+TEST_F(PaillierTest, DecryptAllMatchesDecrypt) {
+  const auto& pk = sk_.public_key();
+  std::vector<BigInt> cts;
+  for (std::uint64_t m = 0; m < 50; ++m) cts.push_back(pk.encrypt(BigInt(m * m + 1), prg_));
+  const std::vector<BigInt> plains = sk_.decrypt_all(cts);
+  ASSERT_EQ(plains.size(), cts.size());
+  for (std::size_t i = 0; i < cts.size(); ++i) {
+    EXPECT_EQ(plains[i], BigInt(static_cast<std::uint64_t>(i * i + 1)));
+  }
+}
+
+TEST_F(PaillierTest, MulScalarReducesOversizedScalars) {
+  // Regression: the scalar used to be fed raw into the modexp, so a scalar
+  // of k*N + 37 cost a |k*N|-bit exponentiation. It must now be reduced mod
+  // N first — same plaintext, bounded cost. Bitwise equality with the
+  // pre-reduced scalar proves the reduction happened.
+  const auto& pk = sk_.public_key();
+  const BigInt c = pk.encrypt(BigInt(1000), prg_);
+  const BigInt huge = pk.n() * BigInt(12345) + BigInt(37);
+  EXPECT_EQ(pk.mul_scalar(c, huge), pk.mul_scalar(c, BigInt(37)));
+  EXPECT_EQ(sk_.decrypt(pk.mul_scalar(c, huge)), BigInt(37000));
+  // Negative scalars reduce into [0, N) through the same path.
+  const BigInt neg = -(pk.n() * BigInt(99) + BigInt(2));
+  EXPECT_EQ(pk.mul_scalar(c, neg), pk.mul_scalar(c, BigInt(-2)));
+  EXPECT_EQ(sk_.decrypt_signed(pk.mul_scalar(c, neg)), BigInt(-2000));
+}
+
+TEST(Paillier, PrivateKeyValidatesFactors) {
+  // p | q-1 makes gcd(N, phi(N)) = p != 1: the decryption equation breaks,
+  // so the constructor must reject it (3 | 7-1 with N = 21, phi = 12).
+  EXPECT_THROW(PaillierPrivateKey(BigInt(3), BigInt(7)), InvalidArgument);
+  EXPECT_THROW(PaillierPrivateKey(BigInt(7), BigInt(3)), InvalidArgument);
+  EXPECT_THROW(PaillierPrivateKey(BigInt(5), BigInt(5)), InvalidArgument);   // p == q
+  EXPECT_THROW(PaillierPrivateKey(BigInt(4), BigInt(7)), InvalidArgument);   // even
+  EXPECT_THROW(PaillierPrivateKey(BigInt(1), BigInt(7)), InvalidArgument);   // p <= 2
+  EXPECT_THROW(PaillierPrivateKey(BigInt(-5), BigInt(7)), InvalidArgument);  // negative
+  // A valid small pair still constructs and round-trips (explicit coprime
+  // randomness: with N = 143 a random r has a non-negligible common factor).
+  const PaillierPrivateKey sk(BigInt(11), BigInt(13));
+  EXPECT_EQ(sk.decrypt(sk.public_key().encrypt_with_randomness(BigInt(42), BigInt(2))),
+            BigInt(42));
 }
 
 TEST(Paillier, KeygenValidatesSize) {

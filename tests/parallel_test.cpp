@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace spfe::common {
+namespace {
+
+// Restores the env-derived global pool after each test so thread-count
+// overrides never leak into other tests in this binary.
+class ParallelTest : public ::testing::Test {
+ protected:
+  ~ParallelTest() override { ThreadPool::set_global_threads(0); }
+};
+
+TEST_F(ParallelTest, CoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 3u, 8u}) {
+    ThreadPool::set_global_threads(threads);
+    std::vector<std::atomic<int>> hits(1000);
+    parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST_F(ParallelTest, EmptyAndSingleElementRanges) {
+  ThreadPool::set_global_threads(4);
+  parallel_for(0, [](std::size_t) { FAIL() << "body must not run for n = 0"; });
+  std::size_t seen = 0;
+  parallel_for(1, [&](std::size_t i) { seen = i + 1; });
+  EXPECT_EQ(seen, 1u);
+}
+
+TEST_F(ParallelTest, RangeFlavorPartitionIsContiguousAndComplete) {
+  ThreadPool::set_global_threads(3);
+  const std::size_t n = 1001;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for_range(n, [&](std::size_t begin, std::size_t end) {
+    EXPECT_LT(begin, end);
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_F(ParallelTest, ResultsIdenticalAcrossThreadCounts) {
+  const std::size_t n = 4096;
+  auto compute = [&] {
+    std::vector<std::uint64_t> out(n);
+    parallel_for(n, [&](std::size_t i) {
+      std::uint64_t v = i * 2654435761u + 1;
+      for (int k = 0; k < 64; ++k) v = v * 6364136223846793005ull + 1442695040888963407ull;
+      out[i] = v;
+    });
+    return out;
+  };
+  ThreadPool::set_global_threads(1);
+  const std::vector<std::uint64_t> serial = compute();
+  for (const std::size_t threads : {2u, 5u, 8u}) {
+    ThreadPool::set_global_threads(threads);
+    EXPECT_EQ(compute(), serial) << "threads = " << threads;
+  }
+}
+
+TEST_F(ParallelTest, PropagatesExceptions) {
+  for (const std::size_t threads : {1u, 4u}) {
+    ThreadPool::set_global_threads(threads);
+    EXPECT_THROW(
+        parallel_for(100,
+                     [](std::size_t i) {
+                       if (i == 57) throw std::runtime_error("boom");
+                     }),
+        std::runtime_error);
+  }
+}
+
+TEST_F(ParallelTest, PoolIsReusableAfterException) {
+  ThreadPool::set_global_threads(4);
+  EXPECT_THROW(parallel_for(16, [](std::size_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  std::atomic<int> count{0};
+  parallel_for(16, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST_F(ParallelTest, NestedCallsFallBackToSerial) {
+  ThreadPool::set_global_threads(4);
+  std::vector<std::atomic<int>> hits(64 * 64);
+  parallel_for(64, [&](std::size_t outer) {
+    parallel_for(64, [&](std::size_t inner) { hits[outer * 64 + inner].fetch_add(1); });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_F(ParallelTest, SetGlobalThreadsControlsPoolSize) {
+  ThreadPool::set_global_threads(3);
+  EXPECT_EQ(ThreadPool::global().thread_count(), 3u);
+  ThreadPool::set_global_threads(1);
+  EXPECT_EQ(ThreadPool::global().thread_count(), 1u);
+  ThreadPool::set_global_threads(0);  // back to the environment default
+  EXPECT_GE(ThreadPool::global().thread_count(), 1u);
+}
+
+TEST_F(ParallelTest, ManyMoreIndicesThanThreads) {
+  ThreadPool::set_global_threads(2);
+  std::vector<std::uint32_t> out(100000);
+  parallel_for(out.size(), [&](std::size_t i) { out[i] = static_cast<std::uint32_t>(i); });
+  std::uint64_t sum = std::accumulate(out.begin(), out.end(), std::uint64_t{0});
+  EXPECT_EQ(sum, std::uint64_t{100000} * 99999 / 2);
+}
+
+}  // namespace
+}  // namespace spfe::common

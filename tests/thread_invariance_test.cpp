@@ -1,0 +1,175 @@
+// The parallel crypto engine's contract: SPFE_THREADS is a pure performance
+// knob. For any thread count, protocol transcripts (every byte sent in either
+// direction) and CommStats metering must be identical to a serial run. These
+// tests run bench-shaped PIR and multi-server flows at 1, 2, and 8 threads
+// and diff the results.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/parallel.h"
+#include "crypto/prg.h"
+#include "he/paillier.h"
+#include "net/network.h"
+#include "pir/cpir.h"
+#include "spfe/multiserver.h"
+
+namespace spfe {
+namespace {
+
+using bignum::BigInt;
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+class ThreadInvarianceTest : public ::testing::Test {
+ protected:
+  ~ThreadInvarianceTest() override { common::ThreadPool::set_global_threads(0); }
+};
+
+struct PirTranscript {
+  Bytes query;
+  Bytes answer;
+  std::uint64_t decoded = 0;
+
+  bool operator==(const PirTranscript&) const = default;
+};
+
+PirTranscript run_pir(const he::PaillierPrivateKey& sk, std::size_t depth) {
+  constexpr std::size_t kN = 128;
+  std::vector<std::uint64_t> db(kN);
+  for (std::size_t i = 0; i < kN; ++i) db[i] = i * 31 + 7;
+  const pir::PaillierPir p(sk.public_key(), kN, depth);
+  // Fresh, identically seeded PRGs per run: any divergence in PRG
+  // consumption order across thread counts would change these bytes.
+  crypto::Prg client_prg("ti-pir-client");
+  crypto::Prg server_prg("ti-pir-server");
+  PirTranscript t;
+  pir::PaillierPir::ClientState state;
+  t.query = p.make_query(77, state, client_prg);
+  t.answer = p.answer_u64(db, t.query, server_prg);
+  t.decoded = p.decode_u64(sk, t.answer);
+  return t;
+}
+
+TEST_F(ThreadInvarianceTest, PaillierPirTranscriptsAreThreadCountInvariant) {
+  crypto::Prg prg("ti-pir-key");
+  const he::PaillierPrivateKey sk = he::paillier_keygen(prg, 256);
+  for (const std::size_t depth : {1u, 2u, 3u}) {
+    common::ThreadPool::set_global_threads(1);
+    const PirTranscript serial = run_pir(sk, depth);
+    EXPECT_EQ(serial.decoded, 77u * 31 + 7);
+    for (const std::size_t threads : kThreadCounts) {
+      common::ThreadPool::set_global_threads(threads);
+      EXPECT_EQ(run_pir(sk, depth), serial)
+          << "depth " << depth << ", threads " << threads;
+    }
+  }
+}
+
+struct MultiServerRun {
+  std::uint64_t result = 0;
+  net::CommStats stats;
+};
+
+void expect_same_stats(const net::CommStats& a, const net::CommStats& b,
+                       std::size_t threads) {
+  EXPECT_EQ(a.client_to_server_bytes, b.client_to_server_bytes) << "threads " << threads;
+  EXPECT_EQ(a.server_to_client_bytes, b.server_to_client_bytes) << "threads " << threads;
+  EXPECT_EQ(a.client_to_server_messages, b.client_to_server_messages)
+      << "threads " << threads;
+  EXPECT_EQ(a.server_to_client_messages, b.server_to_client_messages)
+      << "threads " << threads;
+  EXPECT_EQ(a.half_rounds, b.half_rounds) << "threads " << threads;
+}
+
+template <typename Protocol>
+MultiServerRun run_multiserver(const Protocol& proto,
+                               std::span<const std::uint64_t> database,
+                               const std::vector<std::size_t>& indices) {
+  net::StarNetwork net(proto.num_servers());
+  crypto::Prg prg("ti-ms-client");
+  crypto::Prg seed_prg("ti-ms-seed");
+  const auto spir_seed = seed_prg.fork_seed("spir");
+  MultiServerRun run;
+  run.result = proto.run(net, database, indices, spir_seed, prg);
+  EXPECT_TRUE(net.idle());
+  run.stats = net.stats();
+  return run;
+}
+
+TEST_F(ThreadInvarianceTest, MultiServerSumIsThreadCountInvariant) {
+  const field::Fp64 field(field::Fp64::kMersenne61);
+  constexpr std::size_t kN = 512;
+  constexpr std::size_t kM = 4;
+  std::vector<std::uint64_t> db(kN);
+  for (std::size_t i = 0; i < kN; ++i) db[i] = (i * 131 + 5) % 10007;
+  const std::size_t k = protocols::MultiServerSumSpfe::min_servers(kN, 1);
+  const protocols::MultiServerSumSpfe proto(field, kN, kM, k, 1);
+  const std::vector<std::size_t> indices = {3, 77, 200, 511};
+
+  common::ThreadPool::set_global_threads(1);
+  const MultiServerRun serial = run_multiserver(proto, db, indices);
+  EXPECT_EQ(serial.result, (db[3] + db[77] + db[200] + db[511]) % field.modulus());
+  for (const std::size_t threads : kThreadCounts) {
+    common::ThreadPool::set_global_threads(threads);
+    const MultiServerRun run = run_multiserver(proto, db, indices);
+    EXPECT_EQ(run.result, serial.result) << "threads " << threads;
+    expect_same_stats(run.stats, serial.stats, threads);
+  }
+}
+
+TEST_F(ThreadInvarianceTest, MultiServerFormulaIsThreadCountInvariant) {
+  const field::Fp64 field(field::Fp64::kMersenne61);
+  constexpr std::size_t kN = 64;
+  std::vector<std::uint64_t> db(kN);
+  for (std::size_t i = 0; i < kN; ++i) db[i] = i % 2;
+  const circuits::Formula formula =
+      circuits::Formula::f_and(circuits::Formula::leaf(0), circuits::Formula::leaf(1));
+  const std::size_t k = protocols::MultiServerFormulaSpfe::min_servers(formula, kN, 1);
+  const protocols::MultiServerFormulaSpfe proto(field, formula, kN, k, 1);
+  const std::vector<std::size_t> indices = {3, 7};  // both odd -> both 1 -> AND = 1
+
+  common::ThreadPool::set_global_threads(1);
+  const MultiServerRun serial = run_multiserver(proto, db, indices);
+  EXPECT_EQ(serial.result, 1u);
+  for (const std::size_t threads : kThreadCounts) {
+    common::ThreadPool::set_global_threads(threads);
+    const MultiServerRun run = run_multiserver(proto, db, indices);
+    EXPECT_EQ(run.result, serial.result) << "threads " << threads;
+    expect_same_stats(run.stats, serial.stats, threads);
+  }
+}
+
+// Per-server answer bytes (not just the interpolated result) must match the
+// serial run: this pins the full server->client transcript.
+TEST_F(ThreadInvarianceTest, MultiServerAnswerBytesAreThreadCountInvariant) {
+  const field::Fp64 field(field::Fp64::kMersenne61);
+  constexpr std::size_t kN = 256;
+  std::vector<std::uint64_t> db(kN);
+  for (std::size_t i = 0; i < kN; ++i) db[i] = (i * 17 + 3) % 997;
+  const std::size_t k = protocols::MultiServerSumSpfe::min_servers(kN, 2);
+  const protocols::MultiServerSumSpfe proto(field, kN, 3, k, 2);
+
+  auto transcript = [&] {
+    crypto::Prg prg("ti-ms-bytes");
+    crypto::Prg seed_prg("ti-ms-bytes-seed");
+    const auto spir_seed = seed_prg.fork_seed("spir");
+    protocols::MultiServerSumSpfe::ClientState state;
+    std::vector<Bytes> msgs = proto.make_queries({1, 128, 255}, state, prg);
+    std::vector<Bytes> all = msgs;
+    for (std::size_t h = 0; h < msgs.size(); ++h) {
+      all.push_back(proto.answer(h, db, msgs[h], &spir_seed));
+    }
+    return all;
+  };
+
+  common::ThreadPool::set_global_threads(1);
+  const std::vector<Bytes> serial = transcript();
+  for (const std::size_t threads : kThreadCounts) {
+    common::ThreadPool::set_global_threads(threads);
+    EXPECT_EQ(transcript(), serial) << "threads " << threads;
+  }
+}
+
+}  // namespace
+}  // namespace spfe
