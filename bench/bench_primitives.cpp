@@ -9,7 +9,9 @@
 
 #include <optional>
 
+#include "bench_util.h"
 #include "bignum/modarith.h"
+#include "bignum/multiexp.h"
 #include "bignum/primes.h"
 #include "circuits/boolean_circuit.h"
 #include "crypto/prg.h"
@@ -83,6 +85,103 @@ void BM_ModPowNaiveDivmod(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ModPowNaiveDivmod)->Arg(512)->Arg(1024);
+
+void BM_BigIntSqr(benchmark::State& state) {
+  crypto::Prg prg("bm-sqr");
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  const BigInt a = BigInt::random_bits(prg, bits);
+  for (auto _ : state) benchmark::DoNotOptimize(a.sqr());
+}
+BENCHMARK(BM_BigIntSqr)->Arg(512)->Arg(1024)->Arg(4096);
+
+void BM_MontMulSelf(benchmark::State& state) {
+  // Baseline for BM_MontSqr: the generic CIOS product of a with itself.
+  crypto::Prg prg("bm-mont-mul");
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  BigInt mod = BigInt::random_bits(prg, bits);
+  if (!mod.is_odd()) mod += BigInt(1);
+  const bignum::MontgomeryContext ctx(mod);
+  const auto a = ctx.to_mont(BigInt::random_below(prg, mod));
+  for (auto _ : state) benchmark::DoNotOptimize(ctx.mont_mul(a, a));
+}
+BENCHMARK(BM_MontMulSelf)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_MontSqr(benchmark::State& state) {
+  // The squaring fast path: each cross product computed once, SOS reduce.
+  crypto::Prg prg("bm-mont-mul");  // same seed: identical operands as above
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  BigInt mod = BigInt::random_bits(prg, bits);
+  if (!mod.is_odd()) mod += BigInt(1);
+  const bignum::MontgomeryContext ctx(mod);
+  const auto a = ctx.to_mont(BigInt::random_below(prg, mod));
+  for (auto _ : state) benchmark::DoNotOptimize(ctx.mont_sqr(a));
+}
+BENCHMARK(BM_MontSqr)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_MultiPowCrossTerms(benchmark::State& state) {
+  // The arith_protocol shape: 2 bases, full-width exponents, one column.
+  crypto::Prg prg("bm-multipow2");
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  BigInt mod = BigInt::random_bits(prg, bits);
+  if (!mod.is_odd()) mod += BigInt(1);
+  const bignum::MontgomeryContext ctx(mod);
+  std::vector<BigInt> bases(2), exps(2);
+  for (auto& b : bases) b = BigInt::random_below(prg, mod);
+  for (auto& e : exps) e = BigInt::random_bits(prg, bits);
+  for (auto _ : state) benchmark::DoNotOptimize(bignum::multi_pow(ctx, bases, exps));
+}
+BENCHMARK(BM_MultiPowCrossTerms)->Arg(512)->Arg(1024);
+
+void BM_MultiPowFoldCell(benchmark::State& state) {
+  // The cPIR level-0 fold cell: many ciphertext bases, small data exponents.
+  crypto::Prg prg("bm-multipow-fold");
+  BigInt mod = BigInt::random_bits(prg, 1024);
+  if (!mod.is_odd()) mod += BigInt(1);
+  const bignum::MontgomeryContext ctx(mod);
+  const std::size_t count = static_cast<std::size_t>(state.range(0));
+  std::vector<BigInt> bases(count), exps(count);
+  for (auto& b : bases) b = BigInt::random_below(prg, mod);
+  for (auto& e : exps) e = BigInt::random_bits(prg, 17);
+  for (auto _ : state) benchmark::DoNotOptimize(bignum::multi_pow(ctx, bases, exps));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_MultiPowFoldCell)->Arg(64)->Arg(256);
+
+void BM_NaiveFoldCell(benchmark::State& state) {
+  // Ablation baseline for BM_MultiPowFoldCell: independent ctx.pow per base.
+  crypto::Prg prg("bm-multipow-fold");  // same operands as above
+  BigInt mod = BigInt::random_bits(prg, 1024);
+  if (!mod.is_odd()) mod += BigInt(1);
+  const bignum::MontgomeryContext ctx(mod);
+  const std::size_t count = static_cast<std::size_t>(state.range(0));
+  std::vector<BigInt> bases(count), exps(count);
+  for (auto& b : bases) b = BigInt::random_below(prg, mod);
+  for (auto& e : exps) e = BigInt::random_bits(prg, 17);
+  for (auto _ : state) {
+    BigInt acc(1);
+    for (std::size_t i = 0; i < count; ++i) {
+      acc = bignum::mod_mul(acc, ctx.pow(bases[i], exps[i]), mod);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_NaiveFoldCell)->Arg(64)->Arg(256);
+
+void BM_FixedBasePow(benchmark::State& state) {
+  // Amortized fixed-base comb vs ctx.pow (BM_ModPowMontgomery) at the same
+  // width; the table build is outside the timed loop, as in the matrix fold.
+  crypto::Prg prg("bm-fixed-base");
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  BigInt mod = BigInt::random_bits(prg, bits);
+  if (!mod.is_odd()) mod += BigInt(1);
+  const bignum::MontgomeryContext ctx(mod);
+  const BigInt base = BigInt::random_below(prg, mod);
+  const bignum::FixedBasePowTable table(ctx, base, bits);
+  const BigInt exp = BigInt::random_bits(prg, bits);
+  for (auto _ : state) benchmark::DoNotOptimize(table.pow(exp));
+}
+BENCHMARK(BM_FixedBasePow)->Arg(512)->Arg(1024)->Arg(2048);
 
 void BM_MillerRabinPrime(benchmark::State& state) {
   crypto::Prg prg("bm-mr");
@@ -217,6 +316,35 @@ BENCHMARK_DEFINE_F(PaillierFixture, ScalarMulSmall)(benchmark::State& state) {
 }
 BENCHMARK_REGISTER_F(PaillierFixture, ScalarMulSmall)->Arg(512)->Arg(1024);
 
+BENCHMARK_DEFINE_F(PaillierFixture, MulScalarSum64)(benchmark::State& state) {
+  // One fold-cell weighted sum: 64 ciphertexts, small scalars, evaluated as
+  // a single simultaneous multi-exp (compare 64 x ScalarMulSmall + adds).
+  crypto::Prg prg("scalar-sum");
+  const auto& pk = sk_->public_key();
+  std::vector<BigInt> cts(64), scalars(64);
+  for (std::size_t i = 0; i < cts.size(); ++i) {
+    cts[i] = pk.encrypt(BigInt(i + 1), prg);
+    scalars[i] = BigInt::random_bits(prg, 17);
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(pk.mul_scalar_sum(cts, scalars));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK_REGISTER_F(PaillierFixture, MulScalarSum64)->Arg(512)->Arg(1024);
+
+BENCHMARK_DEFINE_F(PaillierFixture, RerandomizeAll16)(benchmark::State& state) {
+  crypto::Prg prg("rerand-batch");
+  const auto& pk = sk_->public_key();
+  std::vector<BigInt> cts(16);
+  for (std::size_t i = 0; i < cts.size(); ++i) cts[i] = pk.encrypt(BigInt(i), prg);
+  for (auto _ : state) {
+    std::vector<BigInt> batch = cts;
+    pk.rerandomize_all(batch, prg);
+    benchmark::DoNotOptimize(batch);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK_REGISTER_F(PaillierFixture, RerandomizeAll16)->Arg(512);
+
 BENCHMARK_DEFINE_F(PaillierFixture, AddCiphertexts)(benchmark::State& state) {
   crypto::Prg prg("addct");
   const BigInt a = sk_->public_key().encrypt(BigInt(1), prg);
@@ -300,6 +428,59 @@ void BM_OtExtensionPerTransfer(benchmark::State& state) {
 }
 BENCHMARK(BM_OtExtensionPerTransfer)->Arg(1024)->Arg(8192);
 
+// Console output as usual, plus every run captured into BENCH_primitives.json
+// (op = full benchmark name, size = trailing /arg when present).
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCapturingReporter(bench::JsonReport* json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.iterations == 0) continue;
+      const std::string name = run.benchmark_name();
+      const double ns = run.real_accumulated_time / static_cast<double>(run.iterations) * 1e9;
+      std::uint64_t size = 0;
+      const std::size_t slash = name.rfind('/');
+      if (slash != std::string::npos) {
+        size = std::strtoull(name.c_str() + slash + 1, nullptr, 10);
+      }
+      std::uint64_t bytes = 0;
+      const auto bps = run.counters.find("bytes_per_second");
+      if (bps != run.counters.end()) {
+        bytes = static_cast<std::uint64_t>(bps->second.value * ns / 1e9);  // bytes per op
+      }
+      json_->add(name, size, ns, bytes);
+    }
+  }
+
+ private:
+  bench::JsonReport* json_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  // Smoke mode: one tiny timed interval per bench so CI exercises every
+  // kernel in seconds; numbers are noisy and only the JSON shape matters.
+  static char min_time_flag[] = "--benchmark_min_time=0.005";
+  if (smoke) args.push_back(min_time_flag);
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+  spfe::bench::JsonReport json("primitives");
+  JsonCapturingReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  json.write();
+  return 0;
+}

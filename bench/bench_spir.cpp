@@ -6,7 +6,12 @@
 //   (2) recursion-depth trade-off for single-server cPIR (up-traffic
 //       n^(1/d) per dimension vs response expansion 3^(d-1));
 //   (3) multi-server IT PIR is computationally far cheaper than cPIR and
-//       has lower communication at practical sizes.
+//       has lower communication at practical sizes;
+//   (4) the multi-exponentiation fold kernel vs the naive per-row fold
+//       (same bytes, shared squaring chains + window tables).
+//
+// `--smoke` shrinks every size so CI can run the full flow in seconds.
+// Emits BENCH_spir.json (see bench_util.h JsonReport) next to the tables.
 #include <cstdio>
 
 #include "bench_util.h"
@@ -16,24 +21,28 @@
 #include "pir/cpir.h"
 #include "pir/itpir.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spfe;
 
-  std::printf("== E5: SPIR primitive costs ==\n\n");
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
+  bench::JsonReport json("spir");
+
+  std::printf("== E5: SPIR primitive costs%s ==\n\n", smoke ? " (--smoke)" : "");
   crypto::Prg prg("e5");
-  const he::PaillierPrivateKey sk = he::paillier_keygen(prg, 512);
+  const he::PaillierPrivateKey sk = he::paillier_keygen(prg, smoke ? 256 : 512);
 
   // --- cPIR depth ablation ---------------------------------------------------
-  std::printf("--- single-server cPIR recursion depth (n = 4096, one item) ---\n");
+  const std::size_t ablate_n = smoke ? 256 : 4096;
+  std::printf("--- single-server cPIR recursion depth (n = %zu, one item) ---\n", ablate_n);
   {
-    constexpr std::size_t kN = 4096;
+    const std::size_t kN = ablate_n;
     std::vector<std::uint64_t> db(kN);
     for (std::size_t i = 0; i < kN; ++i) db[i] = (i * 29 + 1) % 100000;
     bench::Table table({"depth", "query", "answer", "total", "server ms", "client ms", "ok"});
     for (const std::size_t depth : {1u, 2u, 3u}) {
       const pir::PaillierPir p(sk.public_key(), kN, depth);
       pir::PaillierPir::ClientState state;
-      const Bytes query = p.make_query(1234, state, prg);
+      const Bytes query = p.make_query(kN / 3, state, prg);
       bench::Stopwatch s_server;
       const Bytes answer = p.answer_u64(db, query, prg);
       const double server_ms = s_server.ms();
@@ -43,21 +52,62 @@ int main() {
                  bench::human_bytes(answer.size()),
                  bench::human_bytes(query.size() + answer.size()),
                  bench::fmt("%.0f", server_ms), bench::fmt("%.1f", s_client.ms()),
-                 got == db[1234] ? "yes" : "WRONG"});
+                 got == db[kN / 3] ? "yes" : "WRONG"});
+      json.add("cpir_answer_d" + std::to_string(depth), kN, server_ms * 1e6,
+               query.size() + answer.size());
     }
     table.print();
   }
 
-  // --- threaded server fold --------------------------------------------------
-  std::printf("\n--- cPIR server answer vs thread count (n = 4096, depth 2) ---\n");
+  // --- fold kernel ablation --------------------------------------------------
+  // The PR 2 acceptance gate: the multi-exp fold vs the original per-row
+  // mul_scalar/add fold, single-threaded so the win is purely algorithmic.
+  std::printf("\n--- cPIR fold kernel: multi-exp vs naive (n = %zu, 1 thread) ---\n", ablate_n);
   {
-    constexpr std::size_t kN = 4096;
+    const std::size_t kN = ablate_n;
+    std::vector<std::uint64_t> db(kN);
+    for (std::size_t i = 0; i < kN; ++i) db[i] = (i * 29 + 1) % 100000;
+    common::ThreadPool::set_global_threads(1);
+    bench::Table table({"depth", "kernel", "server ms", "speedup", "answer identical"});
+    for (const std::size_t depth : {1u, 2u}) {
+      pir::PaillierPir multi(sk.public_key(), kN, depth);
+      pir::PaillierPir naive(sk.public_key(), kN, depth);
+      naive.set_fold_kernel(pir::PaillierPir::FoldKernel::kNaive);
+      pir::PaillierPir::ClientState state;
+      crypto::Prg qprg("e5-kernel-query");
+      const Bytes query = multi.make_query(kN / 3, state, qprg);
+      // Identically seeded server PRGs: the kernels must emit the same bytes.
+      crypto::Prg prg_naive("e5-kernel-answer"), prg_multi("e5-kernel-answer");
+      bench::Stopwatch sw_naive;
+      const Bytes a_naive = naive.answer_u64(db, query, prg_naive);
+      const double naive_ms = sw_naive.ms();
+      bench::Stopwatch sw_multi;
+      const Bytes a_multi = multi.answer_u64(db, query, prg_multi);
+      const double multi_ms = sw_multi.ms();
+      const bool identical = a_naive == a_multi && multi.decode_u64(sk, a_multi) == db[kN / 3];
+      table.add({std::to_string(depth), "naive", bench::fmt("%.0f", naive_ms), "1.00x",
+                 identical ? "yes" : "NO (BUG)"});
+      table.add({std::to_string(depth), "multi-exp", bench::fmt("%.0f", multi_ms),
+                 bench::fmt("%.2fx", naive_ms / multi_ms), identical ? "yes" : "NO (BUG)"});
+      json.add("cpir_answer_d" + std::to_string(depth) + "_kernel_naive", kN, naive_ms * 1e6,
+               a_naive.size());
+      json.add("cpir_answer_d" + std::to_string(depth) + "_kernel_multiexp", kN, multi_ms * 1e6,
+               a_multi.size());
+    }
+    common::ThreadPool::set_global_threads(0);
+    table.print();
+  }
+
+  // --- threaded server fold --------------------------------------------------
+  std::printf("\n--- cPIR server answer vs thread count (n = %zu, depth 2) ---\n", ablate_n);
+  {
+    const std::size_t kN = ablate_n;
     std::vector<std::uint64_t> db(kN);
     for (std::size_t i = 0; i < kN; ++i) db[i] = (i * 29 + 1) % 100000;
     const pir::PaillierPir p(sk.public_key(), kN, 2);
     pir::PaillierPir::ClientState state;
     crypto::Prg qprg("e5-threads-query");
-    const Bytes query = p.make_query(1234, state, qprg);
+    const Bytes query = p.make_query(kN / 3, state, qprg);
     bench::Table table({"threads", "server ms", "speedup", "answer identical"});
     double serial_ms = 0;
     Bytes serial_answer;
@@ -76,6 +126,7 @@ int main() {
       table.add({std::to_string(threads), bench::fmt("%.0f", ms),
                  bench::fmt("%.2fx", serial_ms / ms),
                  answer == serial_answer ? "yes" : "NO (BUG)"});
+      json.add("cpir_answer_d2_threads" + std::to_string(threads), kN, ms * 1e6, answer.size());
     }
     common::ThreadPool::set_global_threads(0);  // back to SPFE_THREADS / hw default
     table.print();
@@ -84,8 +135,12 @@ int main() {
   // --- batch vs per-item -----------------------------------------------------
   std::printf("\n--- SPIR(n,m): cuckoo batch vs m x SPIR(n,1)  (depth 1 buckets) ---\n");
   bench::Table batch_table({"n", "m", "variant", "up", "down", "server ms", "ok"});
-  for (const std::size_t n : {1024u, 4096u}) {
-    for (const std::size_t m : {4u, 16u}) {
+  const std::vector<std::size_t> batch_ns = smoke ? std::vector<std::size_t>{256}
+                                                  : std::vector<std::size_t>{1024, 4096};
+  const std::vector<std::size_t> batch_ms = smoke ? std::vector<std::size_t>{4}
+                                                  : std::vector<std::size_t>{4, 16};
+  for (const std::size_t n : batch_ns) {
+    for (const std::size_t m : batch_ms) {
       std::vector<std::uint64_t> db(n);
       for (std::size_t i = 0; i < n; ++i) db[i] = (i * 7 + 11) % 65536;
       std::vector<std::size_t> indices;
@@ -109,6 +164,7 @@ int main() {
         batch_table.add({std::to_string(n), std::to_string(m), "m x SPIR(n,1) d2",
                          bench::human_bytes(up), bench::human_bytes(down),
                          bench::fmt("%.0f", server_ms), ok ? "yes" : "WRONG"});
+        json.add("spir_per_item_m" + std::to_string(m), n, server_ms * 1e6, up + down);
       }
       for (const std::size_t depth : {1u, 2u}) {  // cuckoo-batched query
         const pir::CuckooBatchPir p(sk.public_key(), n, m, depth);
@@ -124,6 +180,8 @@ int main() {
                          "SPIR(n,m) cuckoo d" + std::to_string(depth),
                          bench::human_bytes(q.size()), bench::human_bytes(a.size()),
                          bench::fmt("%.0f", server_ms), ok ? "yes" : "WRONG"});
+        json.add("spir_batch_m" + std::to_string(m) + "_d" + std::to_string(depth), n,
+                 server_ms * 1e6, q.size() + a.size());
       }
     }
   }
@@ -134,7 +192,9 @@ int main() {
   bench::Table it_table({"n", "scheme", "servers", "total comm", "server(s) ms", "ok"});
   const field::Fp64 field(field::Fp64::kMersenne61);
   const auto spir_seed = crypto::Prg::random_seed();
-  for (const std::size_t n : {4096u, 65536u}) {
+  const std::vector<std::size_t> it_ns = smoke ? std::vector<std::size_t>{1024}
+                                               : std::vector<std::size_t>{4096, 65536};
+  for (const std::size_t n : it_ns) {
     std::vector<std::uint64_t> db(n);
     for (std::size_t i = 0; i < n; ++i) db[i] = i * 3 + 1;
     {
@@ -155,6 +215,7 @@ int main() {
       const bool ok = p.decode(answers, state) == db[n / 3];
       it_table.add({std::to_string(n), "PolyItPir (IT)", std::to_string(k),
                     bench::human_bytes(comm), bench::fmt("%.1f", ms), ok ? "yes" : "WRONG"});
+      json.add("itpir_poly_answer", n, ms * 1e6, comm);
     }
     {
       const pir::TwoServerXorPir p(n, 8);
@@ -172,6 +233,7 @@ int main() {
       it_table.add({std::to_string(n), "2-server XOR (sqrt n)", "2",
                     bench::human_bytes(q0.size() + q1.size() + a0.size() + a1.size()),
                     bench::fmt("%.1f", ms), ok ? "yes" : "WRONG"});
+      json.add("itpir_xor_answer", n, ms * 1e6, q0.size() + q1.size() + a0.size() + a1.size());
     }
     {
       const pir::PaillierPir p(sk.public_key(), n, 2);
@@ -184,11 +246,13 @@ int main() {
       it_table.add({std::to_string(n), "Paillier cPIR d2", "1",
                     bench::human_bytes(q.size() + a.size()), bench::fmt("%.0f", ms),
                     ok ? "yes" : "WRONG"});
+      json.add("cpir_answer_d2_vs_it", n, ms * 1e6, q.size() + a.size());
     }
   }
   it_table.print();
   std::printf("\nShape check: batch SPIR's server time is ~flat in m while per-item is\n"
               "~linear in m (Omega(mn) vs ~3n); multi-server IT schemes are orders of\n"
               "magnitude cheaper computationally, at the price of k servers (§1.1).\n");
+  json.write();
   return 0;
 }

@@ -7,13 +7,68 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "net/network.h"
 
 namespace spfe::bench {
+
+// True if `flag` (e.g. "--smoke") appears among the argv strings.
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+// Machine-readable bench output. Rows accumulate in memory; write() emits
+// BENCH_<name>.json into $SPFE_BENCH_JSON_DIR (or the working directory) as
+// a JSON array of {op, size, ns_per_op, bytes} objects — the format CI
+// uploads as an artifact and EXPERIMENTS.md tables are regenerated from.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  void add(const std::string& op, std::uint64_t size, double ns_per_op, std::uint64_t bytes) {
+    rows_.push_back({op, size, ns_per_op, bytes});
+  }
+
+  void write() const {
+    const char* dir = std::getenv("SPFE_BENCH_JSON_DIR");
+    std::string path = (dir != nullptr && *dir != '\0') ? std::string(dir) + "/" : std::string();
+    path += "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonReport: cannot open %s for writing\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Entry& r = rows_[i];
+      std::fprintf(f, "  {\"op\": \"%s\", \"size\": %llu, \"ns_per_op\": %.1f, \"bytes\": %llu}%s\n",
+                   r.op.c_str(), static_cast<unsigned long long>(r.size), r.ns_per_op,
+                   static_cast<unsigned long long>(r.bytes), i + 1 == rows_.size() ? "" : ",");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("\n[json] wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+  }
+
+ private:
+  struct Entry {
+    std::string op;
+    std::uint64_t size;
+    double ns_per_op;
+    std::uint64_t bytes;
+  };
+  std::string name_;
+  std::vector<Entry> rows_;
+};
 
 class Stopwatch {
  public:

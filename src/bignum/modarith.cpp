@@ -193,6 +193,84 @@ std::vector<u64> MontgomeryContext::mont_mul(const std::vector<u64>& a,
   return t;
 }
 
+// SOS Montgomery reduction: t is the 2k-limb product; k rounds each zero the
+// lowest remaining limb by adding m * n, then the top k limbs are the result.
+std::vector<u64> MontgomeryContext::mont_reduce(std::vector<u64> t) const {
+  const std::size_t k = n_.size();
+  t.resize(2 * k + 1, 0);  // slack limb for the propagated carries
+  for (std::size_t i = 0; i < k; ++i) {
+    const u64 m = t[i] * n0_inv_;
+    u64 carry = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const u128 s = static_cast<u128>(m) * n_[j] + t[i + j] + carry;
+      t[i + j] = static_cast<u64>(s);
+      carry = static_cast<u64>(s >> 64);
+    }
+    for (std::size_t idx = i + k; carry != 0; ++idx) {
+      const u128 s = static_cast<u128>(t[idx]) + carry;
+      t[idx] = static_cast<u64>(s);
+      carry = static_cast<u64>(s >> 64);
+    }
+  }
+  std::vector<u64> out(t.begin() + static_cast<std::ptrdiff_t>(k),
+                       t.begin() + static_cast<std::ptrdiff_t>(2 * k + 1));
+  // out has k+1 limbs and is < 2n; conditionally subtract n.
+  bool ge = out[k] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = k; i-- > 0;) {
+      if (out[i] != n_[i]) {
+        ge = out[i] > n_[i];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    u64 borrow = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const u128 d = static_cast<u128>(out[i]) - n_[i] - borrow;
+      out[i] = static_cast<u64>(d);
+      borrow = (d >> 64) != 0 ? 1 : 0;
+    }
+  }
+  out.resize(k);
+  return out;
+}
+
+std::vector<u64> MontgomeryContext::mont_sqr(const std::vector<u64>& a) const {
+  const std::size_t k = n_.size();
+  // Square with each cross product computed once and doubled.
+  std::vector<u64> t(2 * k, 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    const u64 ai = a[i];
+    if (ai == 0) continue;
+    u64 carry = 0;
+    for (std::size_t j = i + 1; j < k; ++j) {
+      const u128 s = static_cast<u128>(ai) * a[j] + t[i + j] + carry;
+      t[i + j] = static_cast<u64>(s);
+      carry = static_cast<u64>(s >> 64);
+    }
+    t[i + k] = carry;
+  }
+  u64 carry = 0;
+  for (std::size_t i = 0; i < 2 * k; ++i) {
+    const u64 v = t[i];
+    t[i] = (v << 1) | carry;
+    carry = v >> 63;
+  }
+  carry = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const u128 sq = static_cast<u128>(a[i]) * a[i];
+    u128 s = static_cast<u128>(t[2 * i]) + static_cast<u64>(sq) + carry;
+    t[2 * i] = static_cast<u64>(s);
+    carry = static_cast<u64>(s >> 64);
+    s = static_cast<u128>(t[2 * i + 1]) + static_cast<u64>(sq >> 64) + carry;
+    t[2 * i + 1] = static_cast<u64>(s);
+    carry = static_cast<u64>(s >> 64);
+  }
+  return mont_reduce(std::move(t));
+}
+
 std::vector<u64> MontgomeryContext::to_mont(const BigInt& a) const {
   std::vector<u64> al = a.mod_floor(modulus_).limbs();
   al.resize(n_.size(), 0);
@@ -219,11 +297,14 @@ BigInt MontgomeryContext::pow(const BigInt& base, const BigInt& exp) const {
   if (exp.is_zero()) return BigInt(1).mod_floor(modulus_);
 
   const std::vector<u64> b = to_mont(base);
-  // 4-bit fixed window: precompute b^0..b^15 in Montgomery form.
+  // 4-bit fixed window: precompute b^0..b^15 in Montgomery form (even
+  // entries by squaring, odd ones by a multiply).
   std::array<std::vector<u64>, 16> table;
   table[0] = one_;
   table[1] = b;
-  for (int i = 2; i < 16; ++i) table[i] = mont_mul(table[i - 1], b);
+  for (int i = 2; i < 16; ++i) {
+    table[i] = (i % 2 == 0) ? mont_sqr(table[i / 2]) : mont_mul(table[i - 1], b);
+  }
 
   const std::size_t bits = exp.bit_length();
   const std::size_t windows = (bits + 3) / 4;
@@ -235,10 +316,10 @@ BigInt MontgomeryContext::pow(const BigInt& base, const BigInt& exp) const {
       digit = (digit << 1) | (exp.bit(4 * w + static_cast<std::size_t>(i)) ? 1u : 0u);
     }
     if (started) {
-      acc = mont_mul(acc, acc);
-      acc = mont_mul(acc, acc);
-      acc = mont_mul(acc, acc);
-      acc = mont_mul(acc, acc);
+      acc = mont_sqr(acc);
+      acc = mont_sqr(acc);
+      acc = mont_sqr(acc);
+      acc = mont_sqr(acc);
     }
     if (digit != 0) {
       acc = started ? mont_mul(acc, table[digit]) : table[digit];

@@ -56,14 +56,24 @@ class MontgomeryContext {
   // base^exp mod modulus via 4-bit fixed-window exponentiation.
   BigInt pow(const BigInt& base, const BigInt& exp) const;
 
-  // Montgomery-domain primitives (exposed for benchmarking the ablation
-  // against divmod-based reduction).
+  // Montgomery-domain primitives (exposed for the multi-exponentiation
+  // engine in multiexp.h and for benchmarking the ablation against
+  // divmod-based reduction).
   std::vector<std::uint64_t> to_mont(const BigInt& a) const;
   BigInt from_mont(const std::vector<std::uint64_t>& a) const;
   std::vector<std::uint64_t> mont_mul(const std::vector<std::uint64_t>& a,
                                       const std::vector<std::uint64_t>& b) const;
+  // REDC(a * a): squares with symmetric cross terms (~2x fewer limb
+  // multiplies than mont_mul(a, a)), then runs a separate reduction pass.
+  std::vector<std::uint64_t> mont_sqr(const std::vector<std::uint64_t>& a) const;
+  // Montgomery form of 1 — the multiplicative identity for mont_mul.
+  const std::vector<std::uint64_t>& mont_one() const { return one_; }
+  std::size_t limbs() const { return n_.size(); }
 
  private:
+  // Montgomery reduction of a double-width (2k-limb) product into [0, n).
+  std::vector<std::uint64_t> mont_reduce(std::vector<std::uint64_t> t) const;
+
   BigInt modulus_;
   std::vector<std::uint64_t> n_;       // modulus limbs
   std::uint64_t n0_inv_;               // -n^{-1} mod 2^64

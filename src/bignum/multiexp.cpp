@@ -1,0 +1,267 @@
+#include "bignum/multiexp.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/error.h"
+#include "common/parallel.h"
+
+namespace spfe::bignum {
+namespace {
+
+using u64 = std::uint64_t;
+using MontVec = std::vector<u64>;
+
+// Relative cost of a Montgomery squaring vs a full multiplication: mont_sqr
+// computes each cross product once and reduces in a separate pass.
+constexpr double kSqrCost = 0.7;
+
+// w-bit digit of e at comb/window position `window_index` (LSB digit = 0).
+unsigned digit_at(const BigInt& e, std::size_t window_index, unsigned w) {
+  unsigned d = 0;
+  const std::size_t base_bit = window_index * w;
+  for (unsigned b = 0; b < w; ++b) {
+    if (e.bit(base_bit + b)) d |= 1u << b;
+  }
+  return d;
+}
+
+// Window table for one base: table[d - 1] = base^d for d in [1, 2^w).
+// Even entries come from mont_sqr, odd ones from one mont_mul.
+std::vector<MontVec> build_window_table(const MontgomeryContext& ctx, const MontVec& base,
+                                        unsigned w) {
+  std::vector<MontVec> table((std::size_t(1) << w) - 1);
+  table[0] = base;
+  for (std::size_t d = 2; d <= table.size(); ++d) {
+    table[d - 1] = (d % 2 == 0) ? ctx.mont_sqr(table[d / 2 - 1])
+                                : ctx.mont_mul(table[d - 2], base);
+  }
+  return table;
+}
+
+// One column of Straus interleaving: a single squaring chain shared by all
+// bases, window lookups from the (column-shared) per-base tables. An empty
+// accumulator stands for the identity so leading zero windows are free.
+MontVec straus_column(const MontgomeryContext& ctx, const std::vector<std::vector<MontVec>>& tables,
+                      std::span<const BigInt> bases_exps_col, std::size_t windows, unsigned w) {
+  MontVec acc;
+  for (std::size_t j = windows; j-- > 0;) {
+    if (!acc.empty()) {
+      for (unsigned s = 0; s < w; ++s) acc = ctx.mont_sqr(acc);
+    }
+    for (std::size_t i = 0; i < bases_exps_col.size(); ++i) {
+      if (tables[i].empty()) continue;  // base unused (all-zero exponent row)
+      const unsigned d = digit_at(bases_exps_col[i], j, w);
+      if (d == 0) continue;
+      acc = acc.empty() ? tables[i][d - 1] : ctx.mont_mul(acc, tables[i][d - 1]);
+    }
+  }
+  return acc;
+}
+
+// One column of Pippenger bucketing: per window, bases fall into 2^w - 1
+// buckets by digit; sum_d d * bucket[d] (in the exponent) is evaluated with
+// the running-product trick in at most 2 * (2^w - 1) multiplications.
+MontVec pippenger_column(const MontgomeryContext& ctx, const std::vector<MontVec>& mont_bases,
+                         std::span<const BigInt> bases_exps_col, std::size_t windows, unsigned w) {
+  MontVec acc;
+  std::vector<MontVec> bucket(std::size_t(1) << w);
+  for (std::size_t j = windows; j-- > 0;) {
+    if (!acc.empty()) {
+      for (unsigned s = 0; s < w; ++s) acc = ctx.mont_sqr(acc);
+    }
+    for (auto& b : bucket) b.clear();
+    for (std::size_t i = 0; i < bases_exps_col.size(); ++i) {
+      if (mont_bases[i].empty()) continue;
+      const unsigned d = digit_at(bases_exps_col[i], j, w);
+      if (d == 0) continue;
+      bucket[d] = bucket[d].empty() ? mont_bases[i] : ctx.mont_mul(bucket[d], mont_bases[i]);
+    }
+    // running = prod_{e >= d} bucket[e]; multiplying it into the window sum
+    // once per d yields prod_d bucket[d]^d.
+    MontVec running, wsum;
+    for (std::size_t d = bucket.size(); d-- > 1;) {
+      if (!bucket[d].empty()) {
+        running = running.empty() ? bucket[d] : ctx.mont_mul(running, bucket[d]);
+      }
+      if (!running.empty()) wsum = wsum.empty() ? running : ctx.mont_mul(wsum, running);
+    }
+    if (!wsum.empty()) acc = acc.empty() ? std::move(wsum) : ctx.mont_mul(acc, wsum);
+  }
+  return acc;
+}
+
+}  // namespace
+
+namespace detail {
+
+MultiExpPlan plan_multi_exp(std::size_t count, std::size_t columns, std::size_t max_bits) {
+  const double n = static_cast<double>(count);
+  const double cols = static_cast<double>(std::max<std::size_t>(columns, 1));
+  const double bits = static_cast<double>(std::max<std::size_t>(max_bits, 1));
+  MultiExpPlan best{MultiExpKind::kStraus, 1};
+  double best_cost = -1;
+  for (unsigned w = 1; w <= 10; ++w) {
+    const double table = static_cast<double>((std::size_t(1) << w) - 2);
+    const double buckets = static_cast<double>(2 * ((std::size_t(1) << w) - 1));
+    const double windows = (bits + w - 1) / w;
+    const double chain = kSqrCost * bits;  // shared squaring chain per column
+    // Straus: per-base tables built once, shared by every column.
+    const double straus = n * table + cols * (chain + n * windows);
+    // Pippenger: no tables, but the bucket combine is paid per window.
+    const double pip = cols * (chain + windows * (n + buckets));
+    // Fixed-base comb: per-base table of `windows` squaring steps built
+    // once; evaluation pays the Yao combine per (base, column) but shares
+    // no squaring chain (there are no evaluation-time squarings at all).
+    const double fixed = n * chain + cols * n * (windows + buckets);
+    struct {
+      MultiExpKind kind;
+      double cost;
+    } cand[3] = {{MultiExpKind::kStraus, straus},
+                 {MultiExpKind::kPippenger, pip},
+                 {MultiExpKind::kFixedBase, fixed}};
+    for (const auto& c : cand) {
+      if (best_cost < 0 || c.cost < best_cost) {
+        best_cost = c.cost;
+        best = {c.kind, w};
+      }
+    }
+  }
+  return best;
+}
+
+unsigned plan_fixed_base_window(std::size_t max_bits) {
+  const double bits = static_cast<double>(std::max<std::size_t>(max_bits, 1));
+  unsigned best_w = 1;
+  double best_cost = -1;
+  for (unsigned w = 1; w <= 8; ++w) {
+    const double cost =
+        (bits + w - 1) / w + static_cast<double>(2 * ((std::size_t(1) << w) - 1));
+    if (best_cost < 0 || cost < best_cost) {
+      best_cost = cost;
+      best_w = w;
+    }
+  }
+  return best_w;
+}
+
+}  // namespace detail
+
+std::vector<BigInt> multi_pow_matrix(const MontgomeryContext& ctx, std::span<const BigInt> bases,
+                                     const std::vector<std::vector<BigInt>>& exps) {
+  const std::size_t count = bases.size();
+  if (exps.size() != count) throw InvalidArgument("multi_pow_matrix: row count mismatch");
+  const std::size_t columns = count == 0 ? 0 : exps[0].size();
+  std::size_t max_bits = 0;
+  std::vector<char> used(count, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (exps[i].size() != columns) throw InvalidArgument("multi_pow_matrix: ragged exponent rows");
+    for (const BigInt& e : exps[i]) {
+      if (e.is_negative()) throw InvalidArgument("multi_pow_matrix: negative exponent");
+      const std::size_t b = e.bit_length();
+      if (b > 0) used[i] = 1;
+      max_bits = std::max(max_bits, b);
+    }
+  }
+  std::vector<BigInt> out(columns, BigInt(1).mod_floor(ctx.modulus()));
+  if (count == 0 || columns == 0 || max_bits == 0) return out;
+
+  const detail::MultiExpPlan plan = detail::plan_multi_exp(count, columns, max_bits);
+  const unsigned w = plan.window;
+  const std::size_t windows = (max_bits + w - 1) / w;
+
+  if (plan.kind == detail::MultiExpKind::kFixedBase) {
+    // Comb tables per base, shared read-only across the column fan-out.
+    std::vector<std::unique_ptr<FixedBasePowTable>> tables(count);
+    common::parallel_for(count, [&](std::size_t i) {
+      if (used[i]) tables[i] = std::make_unique<FixedBasePowTable>(ctx, bases[i], max_bits);
+    });
+    common::parallel_for(columns, [&](std::size_t c) {
+      MontVec acc;
+      for (std::size_t i = 0; i < count; ++i) {
+        if (!used[i] || exps[i][c].is_zero()) continue;
+        MontVec p = tables[i]->pow_mont(exps[i][c]);
+        acc = acc.empty() ? std::move(p) : ctx.mont_mul(acc, p);
+      }
+      if (!acc.empty()) out[c] = ctx.from_mont(acc);
+    });
+    return out;
+  }
+
+  std::vector<MontVec> mont_bases(count);
+  common::parallel_for(count, [&](std::size_t i) {
+    if (used[i]) mont_bases[i] = ctx.to_mont(bases[i]);
+  });
+
+  if (plan.kind == detail::MultiExpKind::kStraus) {
+    std::vector<std::vector<MontVec>> tables(count);
+    common::parallel_for(count, [&](std::size_t i) {
+      if (used[i]) tables[i] = build_window_table(ctx, mont_bases[i], w);
+    });
+    common::parallel_for(columns, [&](std::size_t c) {
+      std::vector<BigInt> col(count);
+      for (std::size_t i = 0; i < count; ++i) col[i] = exps[i][c];
+      const MontVec acc = straus_column(ctx, tables, col, windows, w);
+      if (!acc.empty()) out[c] = ctx.from_mont(acc);
+    });
+    return out;
+  }
+
+  common::parallel_for(columns, [&](std::size_t c) {
+    std::vector<BigInt> col(count);
+    for (std::size_t i = 0; i < count; ++i) col[i] = exps[i][c];
+    const MontVec acc = pippenger_column(ctx, mont_bases, col, windows, w);
+    if (!acc.empty()) out[c] = ctx.from_mont(acc);
+  });
+  return out;
+}
+
+BigInt multi_pow(const MontgomeryContext& ctx, std::span<const BigInt> bases,
+                 std::span<const BigInt> exps) {
+  if (bases.size() != exps.size()) throw InvalidArgument("multi_pow: size mismatch");
+  if (bases.empty()) return BigInt(1).mod_floor(ctx.modulus());
+  std::vector<std::vector<BigInt>> m(bases.size());
+  for (std::size_t i = 0; i < bases.size(); ++i) m[i] = {exps[i]};
+  return multi_pow_matrix(ctx, bases, m)[0];
+}
+
+FixedBasePowTable::FixedBasePowTable(const MontgomeryContext& ctx, const BigInt& base,
+                                     std::size_t max_exp_bits)
+    : ctx_(&ctx), window_(detail::plan_fixed_base_window(max_exp_bits)) {
+  const std::size_t bits = std::max<std::size_t>(max_exp_bits, 1);
+  digits_ = (bits + window_ - 1) / window_;
+  powers_.resize(digits_);
+  powers_[0] = ctx.to_mont(base);
+  for (std::size_t j = 1; j < digits_; ++j) {
+    MontVec p = powers_[j - 1];
+    for (unsigned s = 0; s < window_; ++s) p = ctx.mont_sqr(p);
+    powers_[j] = std::move(p);
+  }
+}
+
+std::vector<std::uint64_t> FixedBasePowTable::pow_mont(const BigInt& exp) const {
+  if (exp.is_negative()) throw InvalidArgument("FixedBasePowTable: negative exponent");
+  if (exp.bit_length() > digits_ * window_) {
+    throw InvalidArgument("FixedBasePowTable: exponent exceeds table capacity");
+  }
+  // Yao's method: group comb positions by digit value, then evaluate
+  // prod_d (prod_{j : digit_j = d} powers_[j])^d with running products.
+  std::vector<MontVec> bucket(std::size_t(1) << window_);
+  for (std::size_t j = 0; j < digits_; ++j) {
+    const unsigned d = digit_at(exp, j, window_);
+    if (d == 0) continue;
+    bucket[d] = bucket[d].empty() ? powers_[j] : ctx_->mont_mul(bucket[d], powers_[j]);
+  }
+  MontVec running, acc;
+  for (std::size_t d = bucket.size(); d-- > 1;) {
+    if (!bucket[d].empty()) {
+      running = running.empty() ? bucket[d] : ctx_->mont_mul(running, bucket[d]);
+    }
+    if (!running.empty()) acc = acc.empty() ? running : ctx_->mont_mul(acc, running);
+  }
+  return acc.empty() ? ctx_->mont_one() : acc;
+}
+
+BigInt FixedBasePowTable::pow(const BigInt& exp) const { return ctx_->from_mont(pow_mont(exp)); }
+
+}  // namespace spfe::bignum

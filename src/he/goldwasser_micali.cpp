@@ -19,9 +19,18 @@ GmPublicKey::GmPublicKey(BigInt n, BigInt z)
 }
 
 BigInt GmPublicKey::encrypt(bool bit, crypto::Prg& prg) const {
-  const BigInt r = BigInt::random_below(prg, n_ - BigInt(1)) + BigInt(1);
+  const BigInt r = random_unit(prg);
   const BigInt r2 = bignum::mod_mul(r, r, n_);
   return bit ? bignum::mod_mul(z_, r2, n_) : r2;
+}
+
+BigInt GmPublicKey::random_unit(crypto::Prg& prg) const {
+  // Uniform over [1, N): draw from [0, N) and reject 0, so neither end of
+  // the documented range is silently excluded.
+  for (;;) {
+    BigInt r = BigInt::random_below(prg, n_);
+    if (!r.is_zero()) return r;
+  }
 }
 
 BigInt GmPublicKey::xor_ct(const BigInt& ca, const BigInt& cb) const {
@@ -29,7 +38,7 @@ BigInt GmPublicKey::xor_ct(const BigInt& ca, const BigInt& cb) const {
 }
 
 BigInt GmPublicKey::rerandomize(const BigInt& c, crypto::Prg& prg) const {
-  const BigInt r = BigInt::random_below(prg, n_ - BigInt(1)) + BigInt(1);
+  const BigInt r = random_unit(prg);
   return bignum::mod_mul(c, bignum::mod_mul(r, r, n_), n_);
 }
 

@@ -24,6 +24,8 @@ class GmPublicKey {
   std::size_t ciphertext_bytes() const { return (n_.bit_length() + 7) / 8; }
 
   bignum::BigInt encrypt(bool bit, crypto::Prg& prg) const;
+  // Uniform randomness in [1, N) for encryption/rerandomization.
+  bignum::BigInt random_unit(crypto::Prg& prg) const;
   // E(a) * E(b) = E(a ^ b).
   bignum::BigInt xor_ct(const bignum::BigInt& ca, const bignum::BigInt& cb) const;
   bignum::BigInt rerandomize(const bignum::BigInt& c, crypto::Prg& prg) const;

@@ -1,5 +1,6 @@
 #include "he/paillier.h"
 
+#include "bignum/multiexp.h"
 #include "bignum/primes.h"
 #include "bignum/serialize.h"
 #include "common/error.h"
@@ -16,11 +17,17 @@ PaillierPublicKey::PaillierPublicKey(BigInt n)
   }
 }
 
+BigInt PaillierPublicKey::random_unit(crypto::Prg& prg) const {
+  // Draw directly from [0, N) and reject 0, so the support is exactly
+  // [1, N) as documented (including N - 1) with no off-by-one at either end.
+  for (;;) {
+    BigInt r = BigInt::random_below(prg, n_);
+    if (!r.is_zero()) return r;
+  }
+}
+
 BigInt PaillierPublicKey::encrypt(const BigInt& m, crypto::Prg& prg) const {
-  // r uniform in [1, N); gcd(r, N) = 1 holds except with negligible
-  // probability (a violation would factor N).
-  const BigInt r = BigInt::random_below(prg, n_ - BigInt(1)) + BigInt(1);
-  return encrypt_with_randomness(m, r);
+  return encrypt_with_randomness(m, random_unit(prg));
 }
 
 BigInt PaillierPublicKey::encrypt_with_randomness(const BigInt& m, const BigInt& r) const {
@@ -43,15 +50,46 @@ BigInt PaillierPublicKey::mul_scalar(const BigInt& c, const BigInt& scalar) cons
   return mont_n2_.pow(c, scalar.mod_floor(n_));
 }
 
+BigInt PaillierPublicKey::mul_scalar_sum(std::span<const BigInt> cts,
+                                         std::span<const BigInt> scalars) const {
+  if (cts.size() != scalars.size()) {
+    throw InvalidArgument("Paillier mul_scalar_sum: size mismatch");
+  }
+  // Reduce scalars into [0, N) first — same semantics as mul_scalar (the
+  // exponent is only meaningful mod N) and it bounds the multi-exp width.
+  std::vector<BigInt> reduced(scalars.size());
+  for (std::size_t i = 0; i < scalars.size(); ++i) reduced[i] = scalars[i].mod_floor(n_);
+  return bignum::multi_pow(mont_n2_, cts, reduced);
+}
+
+std::vector<BigInt> PaillierPublicKey::mul_scalar_sum_matrix(
+    std::span<const BigInt> cts, const std::vector<std::vector<BigInt>>& scalars) const {
+  std::vector<std::vector<BigInt>> reduced(scalars.size());
+  for (std::size_t i = 0; i < scalars.size(); ++i) {
+    reduced[i].resize(scalars[i].size());
+    for (std::size_t c = 0; c < scalars[i].size(); ++c) {
+      reduced[i][c] = scalars[i][c].mod_floor(n_);
+    }
+  }
+  return bignum::multi_pow_matrix(mont_n2_, cts, reduced);
+}
+
 BigInt PaillierPublicKey::negate(const BigInt& c) const { return bignum::mod_inverse(c, n2_); }
 
 BigInt PaillierPublicKey::rerandomize(const BigInt& c, crypto::Prg& prg) const {
-  const BigInt r = BigInt::random_below(prg, n_ - BigInt(1)) + BigInt(1);
-  return rerandomize_with_randomness(c, r);
+  return rerandomize_with_randomness(c, random_unit(prg));
 }
 
 BigInt PaillierPublicKey::rerandomize_with_randomness(const BigInt& c, const BigInt& r) const {
   return bignum::mod_mul(c, mont_n2_.pow(r, n_), n2_);
+}
+
+void PaillierPublicKey::rerandomize_all(std::span<BigInt> cts, crypto::Prg& prg) const {
+  std::vector<BigInt> rs(cts.size());
+  for (BigInt& r : rs) r = random_unit(prg);
+  common::parallel_for(cts.size(), [&](std::size_t i) {
+    cts[i] = rerandomize_with_randomness(cts[i], rs[i]);
+  });
 }
 
 void PaillierPublicKey::serialize(Writer& w) const { bignum::write_bigint(w, n_); }

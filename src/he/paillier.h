@@ -44,10 +44,26 @@ class PaillierPublicKey {
   bignum::BigInt encrypt_with_randomness(const bignum::BigInt& m,
                                          const bignum::BigInt& r) const;
 
+  // Uniform randomness in [1, N) for encryption/rerandomization; gcd(r, N)
+  // is 1 except with negligible probability (a violation would factor N).
+  bignum::BigInt random_unit(crypto::Prg& prg) const;
+
   // E(a) * E(b) = E(a + b).
   bignum::BigInt add(const bignum::BigInt& ca, const bignum::BigInt& cb) const;
   // E(a)^c = E(c * a). Negative scalars use the group inverse.
   bignum::BigInt mul_scalar(const bignum::BigInt& c, const bignum::BigInt& scalar) const;
+  // Homomorphic weighted sum E(sum_i scalars[i] * a_i) = prod_i cts[i]^{scalars[i]}
+  // evaluated as one simultaneous multi-exponentiation (shared squaring
+  // chain) instead of |cts| independent modexps. Byte-identical to folding
+  // mul_scalar results with add.
+  bignum::BigInt mul_scalar_sum(std::span<const bignum::BigInt> cts,
+                                std::span<const bignum::BigInt> scalars) const;
+  // Column-wise batch of the above: out[c] = E(sum_i scalars[i][c] * a_i).
+  // Window/comb tables are shared across columns and the columns fan out
+  // across the global thread pool — the cPIR server fold kernel.
+  std::vector<bignum::BigInt> mul_scalar_sum_matrix(
+      std::span<const bignum::BigInt> cts,
+      const std::vector<std::vector<bignum::BigInt>>& scalars) const;
   // E(a) -> E(-a).
   bignum::BigInt negate(const bignum::BigInt& c) const;
   // Refreshes randomness without changing the plaintext.
@@ -56,6 +72,10 @@ class PaillierPublicKey {
   // pre-draw randomness serially and fan the modexps out across threads.
   bignum::BigInt rerandomize_with_randomness(const bignum::BigInt& c,
                                              const bignum::BigInt& r) const;
+  // Rerandomizes every ciphertext in place: randomness is pre-drawn
+  // serially (PRG order matches a fully serial run), the modexps fan out
+  // across the global thread pool.
+  void rerandomize_all(std::span<bignum::BigInt> cts, crypto::Prg& prg) const;
 
   void serialize(Writer& w) const;
   static PaillierPublicKey deserialize(Reader& r);

@@ -1,5 +1,6 @@
 #include "mpc/arith_protocol.h"
 
+#include <array>
 #include <optional>
 
 #include "bignum/serialize.h"
@@ -163,8 +164,11 @@ std::vector<std::uint64_t> run_arith_mpc_on_ciphertexts(
         const BigInt c2 = (u - r2.mod_floor(u)).mod_floor(u);
         const BigInt c1 = (u - r1.mod_floor(u)).mod_floor(u);
         const BigInt c3 = (u - (r1 * r2).mod_floor(u)).mod_floor(u);
-        BigInt ct = pk.add(e, pk.mul_scalar(*nodes[gate.a].ct, c2));
-        ct = pk.add(ct, pk.mul_scalar(*nodes[gate.b].ct, c1));
+        // Both cross terms in one simultaneous multi-exp (shared squaring
+        // chain) rather than two independent modexps.
+        const std::array<BigInt, 2> mx_bases = {*nodes[gate.a].ct, *nodes[gate.b].ct};
+        const std::array<BigInt, 2> mx_exps = {c2, c1};
+        BigInt ct = pk.add(e, pk.mul_scalar_sum(mx_bases, mx_exps));
         ct = pk.add(ct, pk.encrypt(c3, server_prg));
         const BigInt bound =
             u * u + nodes[gate.a].bound * u + nodes[gate.b].bound * u + u;

@@ -86,42 +86,60 @@ Bytes PaillierPir::answer_chunks(std::vector<std::vector<BigInt>> items, BytesVi
   r.expect_done();
 
   const std::size_t cb = chunk_bytes();
-  const BigInt rand_bound = pk_.n() - BigInt(1);
   for (std::size_t level = 0; level < dims_.size(); ++level) {
     const std::size_t dim = dims_[level];
     const std::size_t groups = (items.size() + dim - 1) / dim;
     const std::size_t chunks = items.empty() ? 0 : items[0].size();
     // Draw each cell's encrypt(0) randomness serially in (group, chunk)
     // order — exactly the order a serial fold consumes the PRG — so the
-    // answer bytes are identical for every thread count.
+    // answer bytes are identical for every thread count and fold kernel.
     std::vector<BigInt> rand0(groups * chunks);
-    for (BigInt& r : rand0) r = BigInt::random_below(prg, rand_bound) + BigInt(1);
+    for (BigInt& r : rand0) r = pk_.random_unit(prg);
     std::vector<std::vector<BigInt>> folded(groups);
     for (auto& group : folded) group.resize(chunks);
-    // Each (group, chunk) cell is an independent product of modexps; fan
-    // the cells out across the pool.
-    common::parallel_for(groups * chunks, [&](std::size_t cell) {
-      const std::size_t g = cell / chunks;
-      const std::size_t c = cell % chunks;
-      BigInt acc = pk_.encrypt_with_randomness(BigInt(0), rand0[cell]);
+    if (fold_kernel_ == FoldKernel::kMultiExp) {
+      // One simultaneous multi-exp per level: base-major exponent matrix
+      // with one column per (group, chunk) cell, so window tables built for
+      // this level's selectors are shared across every cell.
+      std::vector<std::vector<BigInt>> exps(dim);
       for (std::size_t row = 0; row < dim; ++row) {
-        const std::size_t idx = g * dim + row;
-        if (idx >= items.size()) break;
-        if (items[idx][c].is_zero()) continue;  // exponent 0 contributes nothing
-        acc = pk_.add(acc, pk_.mul_scalar(selectors[level][row], items[idx][c]));
+        exps[row].resize(groups * chunks);
+        for (std::size_t g = 0; g < groups; ++g) {
+          const std::size_t idx = g * dim + row;
+          if (idx >= items.size()) continue;  // ragged tail group: exponent 0
+          for (std::size_t c = 0; c < chunks; ++c) {
+            exps[row][g * chunks + c] = items[idx][c];
+          }
+        }
       }
-      folded[g][c] = std::move(acc);
-    });
+      const std::vector<BigInt> sums = pk_.mul_scalar_sum_matrix(selectors[level], exps);
+      // Fold in the encrypt(0) blinders; each cell is an independent modexp.
+      common::parallel_for(groups * chunks, [&](std::size_t cell) {
+        folded[cell / chunks][cell % chunks] =
+            pk_.add(pk_.encrypt_with_randomness(BigInt(0), rand0[cell]), sums[cell]);
+      });
+    } else {
+      // Reference fold: per-row mul_scalar folded with add, cells fanned
+      // out across the pool. Kept for regression tests and the bench
+      // ablation; must stay byte-identical to the multi-exp kernel.
+      common::parallel_for(groups * chunks, [&](std::size_t cell) {
+        const std::size_t g = cell / chunks;
+        const std::size_t c = cell % chunks;
+        BigInt acc = pk_.encrypt_with_randomness(BigInt(0), rand0[cell]);
+        for (std::size_t row = 0; row < dim; ++row) {
+          const std::size_t idx = g * dim + row;
+          if (idx >= items.size()) break;
+          if (items[idx][c].is_zero()) continue;  // exponent 0 contributes nothing
+          acc = pk_.add(acc, pk_.mul_scalar(selectors[level][row], items[idx][c]));
+        }
+        folded[g][c] = std::move(acc);
+      });
+    }
     if (level + 1 == dims_.size()) {
-      // Final level: rerandomize (randomness pre-drawn serially, modexps
-      // parallel) and emit the ciphertexts.
+      // Final level: rerandomize and emit the ciphertexts.
       if (folded.size() != 1) throw InvalidArgument("PaillierPir: dimension mismatch");
       std::vector<BigInt>& out = folded[0];
-      std::vector<BigInt> rr(out.size());
-      for (BigInt& r : rr) r = BigInt::random_below(prg, rand_bound) + BigInt(1);
-      common::parallel_for(out.size(), [&](std::size_t i) {
-        out[i] = pk_.rerandomize_with_randomness(out[i], rr[i]);
-      });
+      pk_.rerandomize_all(out, prg);
       Writer w;
       w.varint(out.size());
       for (const BigInt& ct : out) {

@@ -37,6 +37,15 @@ class PaillierPir {
   const std::vector<std::size_t>& dims() const { return dims_; }
   const he::PaillierPublicKey& public_key() const { return pk_; }
 
+  // Server fold kernel. kMultiExp (default) evaluates each recursion level
+  // as one simultaneous multi-exponentiation with shared window tables;
+  // kNaive folds per-row mul_scalar/add exactly like the original serial
+  // loop. Both consume the PRG identically and produce byte-identical
+  // answers — kNaive is kept as the regression/ablation baseline.
+  enum class FoldKernel { kMultiExp, kNaive };
+  void set_fold_kernel(FoldKernel k) { fold_kernel_ = k; }
+  FoldKernel fold_kernel() const { return fold_kernel_; }
+
   struct ClientState {
     std::vector<std::size_t> positions;  // per-dimension coordinate
   };
@@ -68,6 +77,7 @@ class PaillierPir {
   he::PaillierPublicKey pk_;
   std::size_t n_;
   std::vector<std::size_t> dims_;
+  FoldKernel fold_kernel_ = FoldKernel::kMultiExp;
 };
 
 }  // namespace spfe::pir

@@ -176,13 +176,12 @@ SelectedShares input_selection_poly_mask_client_key(
     Writer w;
     w.bytes(spir.answer_u64(masked, pir_query, server_prg));
     const BigInt blind_bound = (BigInt(m) * BigInt(p) * BigInt(p)) << kStatBits;
+    std::vector<BigInt> s_big(m);
+    for (std::size_t k = 0; k < m; ++k) s_big[k] = BigInt(s[k]);
     for (std::size_t j = 0; j < m; ++j) {
-      // E(sum_k s_k * i_j^k + r_j); all plaintext terms positive.
-      BigInt acc = pk.encrypt(BigInt(0), server_prg);
-      for (std::size_t k = 0; k < m; ++k) {
-        if (s[k] == 0) continue;
-        acc = pk.add(acc, pk.mul_scalar(powers[j][k], BigInt(s[k])));
-      }
+      // E(sum_k s_k * i_j^k + r_j); all plaintext terms positive. The m
+      // scalar products collapse into one simultaneous multi-exp.
+      BigInt acc = pk.add(pk.encrypt(BigInt(0), server_prg), pk.mul_scalar_sum(powers[j], s_big));
       const BigInt r_j = BigInt::random_below(server_prg, blind_bound);
       shares.server_shares[j] = r_j.mod_floor(BigInt(p)).to_u64();
       acc = pk.add(acc, pk.encrypt(r_j, server_prg));
@@ -241,14 +240,20 @@ SelectedShares input_selection_poly_mask_server_key(
     r.expect_done();
 
     const BigInt blind_bound = (BigInt(m) * BigInt(p) * BigInt(p)) << kStatBits;
+    // The coefficient ciphertexts are fixed across j, so all m evaluations
+    // form one base-major matrix multi-exp (comb tables shared across j).
+    // The sums consume no PRG, so drawing them up front leaves the per-j
+    // E(0)/rho/E(rho) draw order untouched.
+    std::vector<std::vector<BigInt>> exps(m, std::vector<BigInt>(m));
+    for (std::size_t j = 0; j < m; ++j) {
+      for (std::size_t k = 0; k < m; ++k) {
+        exps[k][j] = BigInt(pow_mod_u64(indices[j] + 1, k, p));
+      }
+    }
+    const std::vector<BigInt> sums = pk2.mul_scalar_sum_matrix(coeff_cts, exps);
     Writer w;
     for (std::size_t j = 0; j < m; ++j) {
-      BigInt acc = pk2.encrypt(BigInt(0), client_prg);
-      for (std::size_t k = 0; k < m; ++k) {
-        const std::uint64_t power = pow_mod_u64(indices[j] + 1, k, p);
-        if (power == 0) continue;
-        acc = pk2.add(acc, pk2.mul_scalar(coeff_cts[k], BigInt(power)));
-      }
+      BigInt acc = pk2.add(pk2.encrypt(BigInt(0), client_prg), sums[j]);
       const BigInt rho = BigInt::random_below(client_prg, blind_bound);
       rho_mod_p[j] = rho.mod_floor(BigInt(p)).to_u64();
       acc = pk2.add(acc, pk2.encrypt(rho, client_prg));

@@ -114,11 +114,9 @@ std::uint64_t WeightedSumProtocol::run(net::StarNetwork& net, std::size_t server
 
     Writer w;
     w.bytes(spir.answer_u64(masked, pir_query, server_prg));
-    BigInt acc = pk.encrypt(BigInt(0), server_prg);
-    for (std::size_t k = 0; k < m_; ++k) {
-      if (s[k] == 0) continue;
-      acc = pk.add(acc, pk.mul_scalar(c_cts[k], BigInt(s[k])));
-    }
+    std::vector<BigInt> s_big(m_);
+    for (std::size_t k = 0; k < m_; ++k) s_big[k] = BigInt(s[k]);
+    BigInt acc = pk.add(pk.encrypt(BigInt(0), server_prg), pk.mul_scalar_sum(c_cts, s_big));
     // Blind with a multiple of p: the client learns the value only mod p.
     const BigInt rho = BigInt::random_below(server_prg, (BigInt(m_) * BigInt(p)) << kStatBits);
     acc = pk.add(acc, pk.encrypt(rho * BigInt(p), server_prg));
@@ -198,11 +196,9 @@ MeanVarianceResult MeanVariancePackage::run(net::StarNetwork& net, std::size_t s
       std::vector<std::uint64_t> s(m_);
       for (auto& coeff : s) coeff = server_prg.uniform(p);
       w.bytes(spir.answer_u64(mask_database(data, s, p), pir_query, server_prg));
-      BigInt acc = pk.encrypt(BigInt(0), server_prg);
-      for (std::size_t k = 0; k < m_; ++k) {
-        if (s[k] == 0) continue;
-        acc = pk.add(acc, pk.mul_scalar(c_cts[k], BigInt(s[k])));
-      }
+      std::vector<BigInt> s_big(m_);
+      for (std::size_t k = 0; k < m_; ++k) s_big[k] = BigInt(s[k]);
+      BigInt acc = pk.add(pk.encrypt(BigInt(0), server_prg), pk.mul_scalar_sum(c_cts, s_big));
       const BigInt rho =
           BigInt::random_below(server_prg, (BigInt(m_) * BigInt(p)) << kStatBits);
       acc = pk.add(acc, pk.encrypt(rho * BigInt(p), server_prg));

@@ -169,6 +169,85 @@ TEST_F(PaillierTest, MulScalarReducesOversizedScalars) {
   EXPECT_EQ(sk_.decrypt_signed(pk.mul_scalar(c, neg)), BigInt(-2000));
 }
 
+TEST_F(PaillierTest, MulScalarSumMatchesFoldedMulScalar) {
+  // The batch API must be byte-identical to folding mul_scalar with add —
+  // it changes evaluation order, not the group element.
+  const auto& pk = sk_.public_key();
+  std::vector<BigInt> cts, scalars;
+  for (const std::uint64_t v : {10ull, 20ull, 30ull, 40ull}) {
+    cts.push_back(pk.encrypt(BigInt(v), prg_));
+  }
+  // Mix of zero, one, oversized, and negative scalars.
+  scalars = {BigInt(0), BigInt(1), pk.n() * BigInt(3) + BigInt(7), BigInt(-5)};
+  BigInt folded;
+  for (std::size_t i = 0; i < cts.size(); ++i) {
+    const BigInt term = pk.mul_scalar(cts[i], scalars[i]);
+    folded = i == 0 ? term : pk.add(folded, term);
+  }
+  EXPECT_EQ(pk.mul_scalar_sum(cts, scalars), folded);
+  EXPECT_EQ(sk_.decrypt_signed(pk.mul_scalar_sum(cts, scalars)),
+            BigInt(20 * 1 + 30 * 7 - 40 * 5));
+  const std::vector<BigInt> short_scalars = {BigInt(1)};
+  EXPECT_THROW(pk.mul_scalar_sum(cts, short_scalars), InvalidArgument);
+}
+
+TEST_F(PaillierTest, MulScalarSumMatrixMatchesColumns) {
+  const auto& pk = sk_.public_key();
+  constexpr std::size_t kBases = 3, kCols = 5;
+  std::vector<BigInt> cts(kBases);
+  for (std::size_t i = 0; i < kBases; ++i) cts[i] = pk.encrypt(BigInt(i + 1), prg_);
+  std::vector<std::vector<BigInt>> scalars(kBases, std::vector<BigInt>(kCols));
+  for (std::size_t i = 0; i < kBases; ++i) {
+    for (std::size_t c = 0; c < kCols; ++c) scalars[i][c] = BigInt(7 * i + 13 * c);
+  }
+  const std::vector<BigInt> out = pk.mul_scalar_sum_matrix(cts, scalars);
+  ASSERT_EQ(out.size(), kCols);
+  for (std::size_t c = 0; c < kCols; ++c) {
+    std::vector<BigInt> col(kBases);
+    for (std::size_t i = 0; i < kBases; ++i) col[i] = scalars[i][c];
+    EXPECT_EQ(out[c], pk.mul_scalar_sum(cts, col)) << "col=" << c;
+  }
+}
+
+TEST_F(PaillierTest, RerandomizeAllPreservesPlaintextsAndPrgOrder) {
+  const auto& pk = sk_.public_key();
+  std::vector<BigInt> cts(6);
+  for (std::size_t i = 0; i < cts.size(); ++i) cts[i] = pk.encrypt(BigInt(i * 11), prg_);
+  // Reference: the exact serial draw-then-apply order rerandomize_all commits to.
+  std::vector<BigInt> expected = cts;
+  {
+    crypto::Prg serial("rerand-all");
+    std::vector<BigInt> rs(cts.size());
+    for (auto& r : rs) r = pk.random_unit(serial);
+    for (std::size_t i = 0; i < cts.size(); ++i) {
+      expected[i] = pk.rerandomize_with_randomness(expected[i], rs[i]);
+    }
+  }
+  crypto::Prg batch("rerand-all");
+  pk.rerandomize_all(cts, batch);
+  EXPECT_EQ(cts, expected);
+  for (std::size_t i = 0; i < cts.size(); ++i) {
+    EXPECT_EQ(sk_.decrypt(cts[i]), BigInt(i * 11)) << i;
+  }
+}
+
+TEST(Paillier, RandomUnitCoversFullRange) {
+  // Tiny modulus (N = 5 * 7) so 2000 draws cover [1, N) exhaustively: the
+  // old random_below(N-1) + 1 draw could never produce N - 1, and 0 must
+  // never appear.
+  const PaillierPublicKey pk(BigInt(35));
+  crypto::Prg prg("random-unit");
+  std::vector<int> seen(35, 0);
+  for (int i = 0; i < 2000; ++i) {
+    const BigInt r = pk.random_unit(prg);
+    ASSERT_FALSE(r.is_zero());
+    ASSERT_LT(r, BigInt(35));
+    seen[r.to_u64()] += 1;
+  }
+  EXPECT_EQ(seen[0], 0);
+  for (int v = 1; v < 35; ++v) EXPECT_GT(seen[v], 0) << v;
+}
+
 TEST(Paillier, PrivateKeyValidatesFactors) {
   // p | q-1 makes gcd(N, phi(N)) = p != 1: the decryption equation breaks,
   // so the constructor must reject it (3 | 7-1 with N = 21, phi = 12).
@@ -239,6 +318,20 @@ TEST_F(GmTest, SerializationRoundTrip) {
   Reader r(w.data());
   const GmPublicKey pk2 = GmPublicKey::deserialize(r);
   EXPECT_TRUE(sk_.decrypt(pk2.encrypt(true, prg_)));
+}
+
+TEST(Gm, RandomUnitCoversFullRange) {
+  const GmPublicKey pk(BigInt(35), BigInt(4));  // jacobi(4, 35) = +1
+  crypto::Prg prg("gm-random-unit");
+  std::vector<int> seen(35, 0);
+  for (int i = 0; i < 2000; ++i) {
+    const BigInt r = pk.random_unit(prg);
+    ASSERT_FALSE(r.is_zero());
+    ASSERT_LT(r, BigInt(35));
+    seen[r.to_u64()] += 1;
+  }
+  EXPECT_EQ(seen[0], 0);
+  for (int v = 1; v < 35; ++v) EXPECT_GT(seen[v], 0) << v;
 }
 
 TEST(Gm, PublicKeyValidatesZ) {

@@ -233,6 +233,43 @@ TEST_F(PaillierPirTest, ByteItemsRoundTrip) {
   }
 }
 
+TEST_F(PaillierPirTest, FoldKernelsByteIdenticalU64) {
+  // The multi-exp fold is an evaluation-order change only: with identically
+  // seeded server PRGs both kernels must emit byte-identical answers.
+  constexpr std::size_t kN = 50;
+  const auto db = make_db(kN, 1u << 30);
+  for (const std::size_t depth : {1u, 2u, 3u}) {
+    PaillierPir multi(sk_.public_key(), kN, depth);
+    PaillierPir naive(sk_.public_key(), kN, depth);
+    naive.set_fold_kernel(PaillierPir::FoldKernel::kNaive);
+    ASSERT_EQ(multi.fold_kernel(), PaillierPir::FoldKernel::kMultiExp);
+    PaillierPir::ClientState state;
+    const Bytes q = multi.make_query(23, state, prg_);
+    crypto::Prg s1("fold-kernel-server"), s2("fold-kernel-server");
+    const Bytes a_multi = multi.answer_u64(db, q, s1);
+    const Bytes a_naive = naive.answer_u64(db, q, s2);
+    EXPECT_EQ(a_multi, a_naive) << "depth=" << depth;
+    EXPECT_EQ(multi.decode_u64(sk_, a_multi), db[23]) << "depth=" << depth;
+  }
+}
+
+TEST_F(PaillierPirTest, FoldKernelsByteIdenticalBytesMultiChunk) {
+  constexpr std::size_t kN = 12, kItem = 70;  // multiple chunks per item
+  PaillierPir multi(sk_.public_key(), kN, 3);
+  PaillierPir naive(sk_.public_key(), kN, 3);
+  naive.set_fold_kernel(PaillierPir::FoldKernel::kNaive);
+  std::vector<Bytes> db(kN);
+  crypto::Prg data("bytedata-kernel");
+  for (auto& item : db) item = data.bytes(kItem);
+  PaillierPir::ClientState state;
+  const Bytes q = multi.make_query(5, state, prg_);
+  crypto::Prg s1("fold-kernel-bytes"), s2("fold-kernel-bytes");
+  const Bytes a_multi = multi.answer_bytes(db, kItem, q, s1);
+  const Bytes a_naive = naive.answer_bytes(db, kItem, q, s2);
+  EXPECT_EQ(a_multi, a_naive);
+  EXPECT_EQ(multi.decode_bytes(sk_, kItem, a_multi), db[5]);
+}
+
 TEST_F(PaillierPirTest, DepthTwoCommunicationBeatsDepthOne) {
   constexpr std::size_t kN = 100;
   const PaillierPir d1(sk_.public_key(), kN, 1);
