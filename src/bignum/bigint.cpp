@@ -5,6 +5,7 @@
 #include <compare>
 
 #include "common/error.h"
+#include "common/secret.h"
 #include "crypto/prg.h"
 
 namespace spfe::bignum {
@@ -42,12 +43,30 @@ void BigInt::normalize() {
   if (mag_.empty()) negative_ = false;
 }
 
-int BigInt::cmp_mag(const BigInt& a, const BigInt& b) {
+// Limb counts are public by policy (normalized representation), so unequal
+// sizes are decided directly. Equal-size magnitudes are compared without an
+// early exit: every limb is visited and the verdict accumulates in masks, so
+// the scan time does not reveal where the operands first differ.
+int BigInt::cmp_mag(const BigInt& /*secret*/ a, const BigInt& /*secret*/ b) {
   if (a.mag_.size() != b.mag_.size()) return a.mag_.size() < b.mag_.size() ? -1 : 1;
+  // SPFE_CT_BEGIN(cmp_mag)
+  common::SecretBool lt;
+  common::SecretBool gt;
   for (std::size_t i = a.mag_.size(); i-- > 0;) {
-    if (a.mag_[i] != b.mag_[i]) return a.mag_[i] < b.mag_[i] ? -1 : 1;
+    const common::SecretBool limb_lt =
+        common::SecretBool::from_mask(common::ct_lt_u64(a.mag_[i], b.mag_[i]));
+    const common::SecretBool limb_gt =
+        common::SecretBool::from_mask(common::ct_lt_u64(b.mag_[i], a.mag_[i]));
+    const common::SecretBool undecided = ~(lt | gt);
+    lt = lt | (undecided & limb_lt);
+    gt = gt | (undecided & limb_gt);
   }
-  return 0;
+  const std::uint64_t verdict = common::ct_select_u64(
+      gt.mask(), 1, common::ct_select_u64(lt.mask(), static_cast<u64>(-1), 0));
+  // SPFE_CT_END
+  // The ordering itself is declassified: callers (sign logic, divmod) branch
+  // on it, which is the documented public-by-policy exit of this region.
+  return static_cast<int>(static_cast<std::int64_t>(verdict));
 }
 
 std::strong_ordering BigInt::operator<=>(const BigInt& o) const {
@@ -82,15 +101,22 @@ std::vector<u64> BigInt::add_mag(const std::vector<u64>& a, const std::vector<u6
   return out;
 }
 
-std::vector<u64> BigInt::sub_mag(const std::vector<u64>& a, const std::vector<u64>& b) {
+std::vector<u64> BigInt::sub_mag(const std::vector<u64>& /*secret*/ a,
+                                 const std::vector<u64>& /*secret*/ b) {
   std::vector<u64> out(a.size(), 0);
+  // SPFE_CT_BEGIN(sub_mag)
+  // Borrow chain over secret limb values: the borrow bit is extracted
+  // arithmetically from the wide difference (the high half of `d` is all
+  // ones exactly when the subtraction wrapped), never via a branch.
   u64 borrow = 0;
   for (std::size_t i = 0; i < a.size(); ++i) {
-    const u64 bi = i < b.size() ? b[i] : 0;
+    const u64 bi = i < b.size() ? b[i] : 0;  // index vs size: public shape
     const u128 d = static_cast<u128>(a[i]) - bi - borrow;
     out[i] = static_cast<u64>(d);
-    borrow = (d >> 64) != 0 ? 1 : 0;
+    borrow = static_cast<u64>(d >> 64) & 1;
   }
+  // SPFE_CT_END
+  // Normalization (public-by-policy limb count) happens outside the region.
   while (!out.empty() && out.back() == 0) out.pop_back();
   return out;
 }

@@ -3,12 +3,51 @@
 #include <array>
 
 #include "common/error.h"
+#include "common/secret.h"
 
 namespace spfe::bignum {
 namespace {
 
 using u64 = std::uint64_t;
 using u128 = unsigned __int128;
+
+// Canonicalizing step shared by mont_mul and mont_reduce: t holds k+1 limbs
+// (t[k] is the overflow limb) with value < 2n; subtract n iff t >= n. The
+// decision comes from a full trial subtraction (no early exit) and the
+// subtraction itself applies the mask-selected modulus, so neither the
+// comparison nor the reduction branches on the secret residue.
+// SPFE_CT_BEGIN(mont_cond_sub_modulus)
+void ct_cond_sub_modulus(u64* /*secret*/ t, const u64* n, std::size_t k) {
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const u128 d = static_cast<u128>(t[i]) - n[i] - borrow;
+    borrow = static_cast<u64>(d >> 64) & 1;
+  }
+  const u64 ge = common::ct_is_nonzero_u64(t[k]) | common::ct_is_zero_u64(borrow);
+  borrow = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const u128 d = static_cast<u128>(t[i]) - (ge & n[i]) - borrow;
+    t[i] = static_cast<u64>(d);
+    borrow = static_cast<u64>(d >> 64) & 1;
+  }
+}
+// SPFE_CT_END
+
+// Masked 4-bit window lookup: scans all 16 table entries and accumulates the
+// one matching `digit` under an equality mask, so the memory access pattern
+// is independent of the secret exponent digit.
+// SPFE_CT_BEGIN(mont_table_lookup)
+void ct_lookup_window(const std::array<std::vector<u64>, 16>& table, u64 /*secret*/ digit,
+                      std::vector<u64>& out) {
+  const std::size_t k = out.size();
+  for (std::size_t i = 0; i < k; ++i) out[i] = 0;
+  for (std::size_t e = 0; e < 16; ++e) {
+    const u64 m = common::ct_eq_u64(e, digit);
+    const std::vector<u64>& entry = table[e];
+    for (std::size_t i = 0; i < k; ++i) out[i] |= m & entry[i];
+  }
+}
+// SPFE_CT_END
 
 }  // namespace
 
@@ -136,10 +175,13 @@ MontgomeryContext::MontgomeryContext(const BigInt& modulus) : modulus_(modulus) 
 }
 
 // CIOS Montgomery multiplication: returns REDC(a * b) with a, b of size k.
-std::vector<u64> MontgomeryContext::mont_mul(const std::vector<u64>& a,
-                                             const std::vector<u64>& b) const {
+// Branch-free over the operand values: carries and borrows are extracted
+// arithmetically and the final canonicalization is mask-selected.
+std::vector<u64> MontgomeryContext::mont_mul(const std::vector<u64>& /*secret*/ a,
+                                             const std::vector<u64>& /*secret*/ b) const {
   const std::size_t k = n_.size();
   std::vector<u64> t(k + 2, 0);
+  // SPFE_CT_BEGIN(mont_mul)
   for (std::size_t i = 0; i < k; ++i) {
     // t += a[i] * b
     u64 carry = 0;
@@ -169,35 +211,21 @@ std::vector<u64> MontgomeryContext::mont_mul(const std::vector<u64>& a,
     t[k] = t[k + 1] + static_cast<u64>(s >> 64);
     t[k + 1] = 0;
   }
-  t.resize(k + 1);
-  // Conditional subtraction of n.
-  bool ge = t[k] != 0;
-  if (!ge) {
-    ge = true;
-    for (std::size_t i = k; i-- > 0;) {
-      if (t[i] != n_[i]) {
-        ge = t[i] > n_[i];
-        break;
-      }
-    }
-  }
-  if (ge) {
-    u64 borrow = 0;
-    for (std::size_t i = 0; i < k; ++i) {
-      const u128 d = static_cast<u128>(t[i]) - n_[i] - borrow;
-      t[i] = static_cast<u64>(d);
-      borrow = (d >> 64) != 0 ? 1 : 0;
-    }
-  }
+  ct_cond_sub_modulus(t.data(), n_.data(), k);
+  // SPFE_CT_END
   t.resize(k);
   return t;
 }
 
 // SOS Montgomery reduction: t is the 2k-limb product; k rounds each zero the
 // lowest remaining limb by adding m * n, then the top k limbs are the result.
-std::vector<u64> MontgomeryContext::mont_reduce(std::vector<u64> t) const {
+// The per-round carry is always propagated to the top of the buffer (adding
+// zero where it has died out), so the round cost never depends on how far a
+// secret-value-dependent carry happens to travel.
+std::vector<u64> MontgomeryContext::mont_reduce(std::vector<u64> /*secret*/ t) const {
   const std::size_t k = n_.size();
   t.resize(2 * k + 1, 0);  // slack limb for the propagated carries
+  // SPFE_CT_BEGIN(mont_reduce)
   for (std::size_t i = 0; i < k; ++i) {
     const u64 m = t[i] * n0_inv_;
     u64 carry = 0;
@@ -206,7 +234,7 @@ std::vector<u64> MontgomeryContext::mont_reduce(std::vector<u64> t) const {
       t[i + j] = static_cast<u64>(s);
       carry = static_cast<u64>(s >> 64);
     }
-    for (std::size_t idx = i + k; carry != 0; ++idx) {
+    for (std::size_t idx = i + k; idx < 2 * k + 1; ++idx) {
       const u128 s = static_cast<u128>(t[idx]) + carry;
       t[idx] = static_cast<u64>(s);
       carry = static_cast<u64>(s >> 64);
@@ -214,36 +242,20 @@ std::vector<u64> MontgomeryContext::mont_reduce(std::vector<u64> t) const {
   }
   std::vector<u64> out(t.begin() + static_cast<std::ptrdiff_t>(k),
                        t.begin() + static_cast<std::ptrdiff_t>(2 * k + 1));
-  // out has k+1 limbs and is < 2n; conditionally subtract n.
-  bool ge = out[k] != 0;
-  if (!ge) {
-    ge = true;
-    for (std::size_t i = k; i-- > 0;) {
-      if (out[i] != n_[i]) {
-        ge = out[i] > n_[i];
-        break;
-      }
-    }
-  }
-  if (ge) {
-    u64 borrow = 0;
-    for (std::size_t i = 0; i < k; ++i) {
-      const u128 d = static_cast<u128>(out[i]) - n_[i] - borrow;
-      out[i] = static_cast<u64>(d);
-      borrow = (d >> 64) != 0 ? 1 : 0;
-    }
-  }
+  ct_cond_sub_modulus(out.data(), n_.data(), k);
+  // SPFE_CT_END
   out.resize(k);
   return out;
 }
 
-std::vector<u64> MontgomeryContext::mont_sqr(const std::vector<u64>& a) const {
+std::vector<u64> MontgomeryContext::mont_sqr(const std::vector<u64>& /*secret*/ a) const {
   const std::size_t k = n_.size();
-  // Square with each cross product computed once and doubled.
+  // Square with each cross product computed once and doubled. Zero limbs are
+  // NOT skipped: the row cost must not depend on the secret operand value.
   std::vector<u64> t(2 * k, 0);
+  // SPFE_CT_BEGIN(mont_sqr)
   for (std::size_t i = 0; i < k; ++i) {
     const u64 ai = a[i];
-    if (ai == 0) continue;
     u64 carry = 0;
     for (std::size_t j = i + 1; j < k; ++j) {
       const u128 s = static_cast<u128>(ai) * a[j] + t[i + j] + carry;
@@ -268,7 +280,9 @@ std::vector<u64> MontgomeryContext::mont_sqr(const std::vector<u64>& a) const {
     t[2 * i + 1] = static_cast<u64>(s);
     carry = static_cast<u64>(s >> 64);
   }
-  return mont_reduce(std::move(t));
+  const std::vector<u64> red = mont_reduce(std::move(t));
+  // SPFE_CT_END
+  return red;
 }
 
 std::vector<u64> MontgomeryContext::to_mont(const BigInt& a) const {
@@ -292,13 +306,19 @@ BigInt MontgomeryContext::from_mont(const std::vector<u64>& a) const {
   return BigInt::from_bytes_be(be);
 }
 
-BigInt MontgomeryContext::pow(const BigInt& base, const BigInt& exp) const {
+// base^exp via a 4-bit fixed window. Constant time in the exponent *value*:
+// every window pays four squarings plus one multiplication (zero digits
+// multiply by the Montgomery identity), and the table entry is fetched with
+// a masked full-table scan. The exponent's bit length is public by policy
+// (it is a key/modulus size, fixed per context — see DESIGN.md), so the
+// window count may depend on it.
+BigInt MontgomeryContext::pow(const BigInt& base, const BigInt& /*secret*/ exp) const {
   if (exp.is_negative()) throw InvalidArgument("MontgomeryContext::pow: negative exponent");
   if (exp.is_zero()) return BigInt(1).mod_floor(modulus_);
 
   const std::vector<u64> b = to_mont(base);
-  // 4-bit fixed window: precompute b^0..b^15 in Montgomery form (even
-  // entries by squaring, odd ones by a multiply).
+  // Precompute b^0..b^15 in Montgomery form (even entries by squaring, odd
+  // ones by a multiply); b itself is not secret (ciphertexts, generators).
   std::array<std::vector<u64>, 16> table;
   table[0] = one_;
   table[1] = b;
@@ -308,26 +328,24 @@ BigInt MontgomeryContext::pow(const BigInt& base, const BigInt& exp) const {
 
   const std::size_t bits = exp.bit_length();
   const std::size_t windows = (bits + 3) / 4;
+  const std::vector<u64>& el = exp.limbs();
   std::vector<u64> acc = one_;
-  bool started = false;
+  std::vector<u64> entry(n_.size());
+  // SPFE_CT_BEGIN(mont_pow)
   for (std::size_t w = windows; w-- > 0;) {
-    unsigned digit = 0;
-    for (int i = 3; i >= 0; --i) {
-      digit = (digit << 1) | (exp.bit(4 * w + static_cast<std::size_t>(i)) ? 1u : 0u);
-    }
-    if (started) {
+    if (w + 1 != windows) {  // window position is public, not the digit
       acc = mont_sqr(acc);
       acc = mont_sqr(acc);
       acc = mont_sqr(acc);
       acc = mont_sqr(acc);
     }
-    if (digit != 0) {
-      acc = started ? mont_mul(acc, table[digit]) : table[digit];
-      started = true;
-    } else if (!started) {
-      continue;  // skip leading zero windows
-    }
+    // 4-bit windows never straddle a 64-bit limb; the limb index depends
+    // only on the public window position.
+    const u64 digit = (el[(4 * w) / 64] >> ((4 * w) % 64)) & 0xf;
+    ct_lookup_window(table, digit, entry);
+    acc = mont_mul(acc, entry);
   }
+  // SPFE_CT_END
   return from_mont(acc);
 }
 

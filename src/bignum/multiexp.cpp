@@ -17,14 +17,25 @@ using MontVec = std::vector<u64>;
 constexpr double kSqrCost = 0.7;
 
 // w-bit digit of e at comb/window position `window_index` (LSB digit = 0).
-unsigned digit_at(const BigInt& e, std::size_t window_index, unsigned w) {
-  unsigned d = 0;
+// Bits are gathered arithmetically from the limb array — no per-bit branch
+// on the exponent value. (The zero-digit skips in the evaluation strategies
+// below deliberately remain: multi-exp exponents are server-side public
+// data — PIR database chunks, protocol weights. Secret exponents must go
+// through MontgomeryContext::pow; see DESIGN.md "Constant-time policy".)
+// SPFE_CT_BEGIN(multiexp_digit_at)
+unsigned digit_at(const BigInt& /*secret*/ e, std::size_t window_index, unsigned w) {
+  const std::vector<u64>& limbs = e.limbs();
+  u64 d = 0;
   const std::size_t base_bit = window_index * w;
   for (unsigned b = 0; b < w; ++b) {
-    if (e.bit(base_bit + b)) d |= 1u << b;
+    const std::size_t bit_index = base_bit + b;
+    const std::size_t limb = bit_index / 64;  // public window position
+    const u64 v = limb < limbs.size() ? limbs[limb] : 0;  // public shape test
+    d |= ((v >> (bit_index % 64)) & 1) << b;
   }
-  return d;
+  return static_cast<unsigned>(d);
 }
+// SPFE_CT_END
 
 // Window table for one base: table[d - 1] = base^d for d in [1, 2^w).
 // Even entries come from mont_sqr, odd ones from one mont_mul.

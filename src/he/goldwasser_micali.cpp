@@ -3,6 +3,7 @@
 #include "bignum/primes.h"
 #include "bignum/serialize.h"
 #include "common/error.h"
+#include "common/secret.h"
 
 namespace spfe::he {
 
@@ -26,10 +27,16 @@ BigInt GmPublicKey::encrypt(bool bit, crypto::Prg& prg) const {
 
 BigInt GmPublicKey::random_unit(crypto::Prg& prg) const {
   // Uniform over [1, N): draw from [0, N) and reject 0, so neither end of
-  // the documented range is silently excluded.
+  // the documented range is silently excluded. The zero test runs over all
+  // limbs through the mask primitives; only the accept/reject bit is
+  // declassified (rejected draws are independent of the surviving secret).
   for (;;) {
     BigInt r = BigInt::random_below(prg, n_);
-    if (!r.is_zero()) return r;
+    common::SecretBool nonzero;
+    for (const std::uint64_t limb : r.limbs()) {
+      nonzero = nonzero | common::SecretBool::from_mask(common::ct_is_nonzero_u64(limb));
+    }
+    if (nonzero.declassify()) return r;
   }
 }
 
@@ -54,13 +61,20 @@ GmPublicKey GmPublicKey::deserialize(Reader& r) {
 }
 
 GmPrivateKey::GmPrivateKey(BigInt p, BigInt q, BigInt z)
-    : pk_(p * q, std::move(z)), p_(std::move(p)) {}
+    : pk_(p * q, std::move(z)),
+      p_(std::move(p)),
+      mont_p_(p_),
+      euler_exp_((p_ - BigInt(1)) >> 1) {}
 
 bool GmPrivateKey::decrypt(const BigInt& c) const {
-  // c is a residue mod p iff the plaintext bit is 0.
-  const int legendre = bignum::jacobi(c.mod_floor(p_), p_);
-  if (legendre == 0) throw CryptoError("GM decrypt: ciphertext shares factor with N");
-  return legendre == -1;
+  // c is a residue mod p iff the plaintext bit is 0. Euler criterion:
+  // c^((p-1)/2) mod p is 1 for residues and p-1 for non-residues — same
+  // verdict as the Legendre symbol, but computed with the constant-time
+  // modexp instead of a Euclid chain whose iteration count and remainder
+  // sizes depend on the secret factor.
+  const BigInt ls = mont_p_.pow(c.mod_floor(p_), euler_exp_);
+  if (ls.is_zero()) throw CryptoError("GM decrypt: ciphertext shares factor with N");
+  return !ls.is_one();
 }
 
 GmPrivateKey gm_keygen(crypto::Prg& prg, std::size_t modulus_bits) {

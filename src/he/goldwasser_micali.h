@@ -45,11 +45,17 @@ class GmPrivateKey {
 
   const GmPublicKey& public_key() const { return pk_; }
 
+  // Quadratic-residuosity test via the Euler criterion c^((p-1)/2) mod p,
+  // evaluated with the constant-time Montgomery exponentiation — unlike a
+  // Jacobi-symbol Euclid chain, the running time does not trace the secret
+  // factor p through a data-dependent remainder cascade.
   bool decrypt(const bignum::BigInt& c) const;
 
  private:
   GmPublicKey pk_;
   bignum::BigInt p_;
+  bignum::MontgomeryContext mont_p_;
+  bignum::BigInt euler_exp_;  // (p - 1) / 2
 };
 
 GmPrivateKey gm_keygen(crypto::Prg& prg, std::size_t modulus_bits);

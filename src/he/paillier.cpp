@@ -5,6 +5,7 @@
 #include "bignum/serialize.h"
 #include "common/error.h"
 #include "common/parallel.h"
+#include "common/secret.h"
 
 namespace spfe::he {
 
@@ -20,9 +21,16 @@ PaillierPublicKey::PaillierPublicKey(BigInt n)
 BigInt PaillierPublicKey::random_unit(crypto::Prg& prg) const {
   // Draw directly from [0, N) and reject 0, so the support is exactly
   // [1, N) as documented (including N - 1) with no off-by-one at either end.
+  // The zero test scans every limb through the mask primitives; only the
+  // final accept/reject bit is declassified, which is safe by design:
+  // rejected draws are discarded and independent of the surviving secret.
   for (;;) {
     BigInt r = BigInt::random_below(prg, n_);
-    if (!r.is_zero()) return r;
+    common::SecretBool nonzero;
+    for (const std::uint64_t limb : r.limbs()) {
+      nonzero = nonzero | common::SecretBool::from_mask(common::ct_is_nonzero_u64(limb));
+    }
+    if (nonzero.declassify()) return r;
   }
 }
 
@@ -149,6 +157,13 @@ void PaillierPrivateKey::check_ciphertext(const BigInt& c) const {
   }
 }
 
+// CRT decryption. The two half-size modexps run under the constant-time
+// MontgomeryContext::pow with the fixed secret exponents p-1 and q-1; the
+// surrounding L-function divisions and the CRT recombination are exact
+// divisions/reductions by the fixed key moduli, whose Knuth-D cost is
+// determined by the (per-key-constant) operand widths. Residual per-value
+// timing jitter (qhat corrections) is smoke-checked by the dudect harness
+// in tests/ct_harness_test.cpp.
 BigInt PaillierPrivateKey::decrypt(const BigInt& c) const {
   check_ciphertext(c);
   const BigInt cp = c.mod_floor(p2_);

@@ -28,12 +28,15 @@ Label row_pad(const Label& la, const Label& lb, std::uint64_t gate_id) {
   return out;
 }
 
+// Bitwise (not short-circuit) combination: garbling enumerates all four
+// truth-table rows, but the operands trace back to secret permute bits, so
+// the evaluation must not branch on them.
 bool gate_fn(GateKind kind, bool a, bool b) {
   switch (kind) {
     case GateKind::kAnd:
-      return a && b;
+      return a & b;
     case GateKind::kOr:
-      return a || b;
+      return a | b;
     default:
       throw InvalidArgument("gate_fn: not a table gate");
   }
@@ -105,16 +108,31 @@ GarblingResult garble(const BooleanCircuit& circuit, crypto::Prg& prg) {
       case GateKind::kAnd:
       case GateKind::kOr: {
         wires[out] = fresh_pair();
-        std::array<Label, 4> table;
+        // The row index is built from the labels' permute bits, which are
+        // secret — a direct `table[row] = ...` store would leak them through
+        // the garbler's write pattern. Instead each encrypted row is
+        // OR-scattered into all four slots under an equality mask; the four
+        // (va, vb) combinations hit distinct rows, so the accumulation is
+        // byte-identical to the direct store.
+        std::array<Label, 4> table{};
         for (int va = 0; va <= 1; ++va) {
           for (int vb = 0; vb <= 1; ++vb) {
             const Label& la = wires[gate.a].get(va != 0);
             const Label& lb = wires[gate.b].get(vb != 0);
             const bool vo = gate_fn(gate.kind, va != 0, vb != 0);
-            const std::size_t row =
-                (static_cast<std::size_t>(label_lsb(la)) << 1) |
-                static_cast<std::size_t>(label_lsb(lb));
-            table[row] = xor_labels(row_pad(la, lb, g), wires[out].get(vo));
+            const Label enc = xor_labels(row_pad(la, lb, g), wires[out].get(vo));
+            const std::uint64_t /*secret*/ row =
+                (static_cast<std::uint64_t>(la[kLabelBytes - 1] & 1) << 1) |
+                static_cast<std::uint64_t>(lb[kLabelBytes - 1] & 1);
+            // SPFE_CT_BEGIN(yao_garble_scatter)
+            for (std::size_t r = 0; r < 4; ++r) {
+              const std::uint8_t m =
+                  static_cast<std::uint8_t>(common::ct_eq_u64(r, row));
+              for (std::size_t i = 0; i < kLabelBytes; ++i) {
+                table[r][i] |= static_cast<std::uint8_t>(m & enc[i]);
+              }
+            }
+            // SPFE_CT_END
           }
         }
         gc.tables.push_back(table);

@@ -21,6 +21,7 @@
 
 #include "circuits/boolean_circuit.h"
 #include "common/bytes.h"
+#include "common/secret.h"
 #include "common/serialize.h"
 #include "crypto/prg.h"
 
@@ -36,7 +37,24 @@ bool label_lsb(const Label& l);
 struct LabelPair {
   Label l0;
   Label l1;
+  // Reference select for PUBLIC truth values only (garbling enumerates all
+  // four rows of a table, so `v` there is a loop constant). For a party's
+  // private input bit, use ct_get.
   const Label& get(bool v) const { return v ? l1 : l0; }
+  // Branch-free select for secret truth values: reads both labels and mixes
+  // them with a full-width mask, so neither the branch predictor nor the
+  // data cache learns which label became active.
+  Label ct_get(bool /*secret*/ v) const {
+    const std::uint8_t m =
+        static_cast<std::uint8_t>(common::ct_mask_from_bit(static_cast<std::uint64_t>(v)));
+    Label out;
+    // SPFE_CT_BEGIN(label_ct_get)
+    for (std::size_t i = 0; i < kLabelBytes; ++i) {
+      out[i] = static_cast<std::uint8_t>(l0[i] ^ (m & (l0[i] ^ l1[i])));
+    }
+    // SPFE_CT_END
+    return out;
+  }
 };
 
 // Everything the evaluator needs except its own input labels.

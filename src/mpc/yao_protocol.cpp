@@ -23,7 +23,9 @@ Bytes pack_server_payload(const GarblingResult& garbling,
   w.varint(server_bits.size());
   for (std::size_t i = 0; i < server_bits.size(); ++i) {
     const LabelPair& pair = garbling.input_labels[client_count + i];
-    w.raw(label_to_bytes(pair.get(server_bits[i])));
+    // ct_get: server_bits is the server's private input — selecting the
+    // active label must not branch or index on it.
+    w.raw(label_to_bytes(pair.ct_get(server_bits[i])));
   }
   return w.take();
 }

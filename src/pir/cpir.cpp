@@ -5,6 +5,7 @@
 #include "bignum/serialize.h"
 #include "common/error.h"
 #include "common/parallel.h"
+#include "common/secret.h"
 #include "common/serialize.h"
 
 namespace spfe::pir {
@@ -55,18 +56,33 @@ std::size_t PaillierPir::chunk_bytes() const {
   return (pk_.modulus_bits() - 16) / 8;
 }
 
-Bytes PaillierPir::make_query(std::size_t index, ClientState& state, crypto::Prg& prg) const {
+Bytes PaillierPir::make_query(std::size_t /*secret*/ index, ClientState& state,
+                              crypto::Prg& prg) const {
   if (index >= n_) throw InvalidArgument("PaillierPir: index out of range");
   state.positions.clear();
+  // Decompose the retrieval index into per-dimension positions and compute
+  // every selector bit with the mask primitives: the mixed-radix div/mod and
+  // the position comparisons all run branch-free so the client's query
+  // construction time carries no trace of which record it wants. (BigInt
+  // normalization of the 0/1 plaintexts below is a documented non-goal —
+  // see DESIGN.md "Constant-time policy".)
+  std::vector<std::vector<std::uint64_t>> bits(dims_.size());
+  std::uint64_t residual = index;
+  // SPFE_CT_BEGIN(cpir_make_query)
+  for (std::size_t j = 0; j < dims_.size(); ++j) {
+    const common::CtDivmod dm = common::ct_divmod_u64(residual, dims_[j]);
+    residual = dm.quotient;
+    state.positions.push_back(static_cast<std::size_t>(dm.remainder));
+    bits[j].resize(dims_[j]);
+    for (std::size_t r = 0; r < dims_[j]; ++r) {
+      bits[j][r] = common::ct_eq_u64(r, dm.remainder) & 1;
+    }
+  }
+  // SPFE_CT_END
   Writer w;
-  std::size_t residual = index;
-  for (const std::size_t dim : dims_) {
-    const std::size_t pos = residual % dim;
-    residual /= dim;
-    state.positions.push_back(pos);
-    for (std::size_t r = 0; r < dim; ++r) {
-      w.raw(pk_.encrypt(BigInt(r == pos ? 1 : 0), prg)
-                .to_bytes_be_padded(pk_.ciphertext_bytes()));
+  for (std::size_t j = 0; j < dims_.size(); ++j) {
+    for (std::size_t r = 0; r < dims_[j]; ++r) {
+      w.raw(pk_.encrypt(BigInt(bits[j][r]), prg).to_bytes_be_padded(pk_.ciphertext_bytes()));
     }
   }
   return w.take();
@@ -94,7 +110,7 @@ Bytes PaillierPir::answer_chunks(std::vector<std::vector<BigInt>> items, BytesVi
     // order — exactly the order a serial fold consumes the PRG — so the
     // answer bytes are identical for every thread count and fold kernel.
     std::vector<BigInt> rand0(groups * chunks);
-    for (BigInt& r : rand0) r = pk_.random_unit(prg);
+    for (BigInt& unit : rand0) unit = pk_.random_unit(prg);
     std::vector<std::vector<BigInt>> folded(groups);
     for (auto& group : folded) group.resize(chunks);
     if (fold_kernel_ == FoldKernel::kMultiExp) {

@@ -1,6 +1,7 @@
 #include "pir/itpir.h"
 
 #include "common/error.h"
+#include "common/secret.h"
 #include "common/serialize.h"
 #include "field/polynomial.h"
 
@@ -11,11 +12,6 @@ std::size_t index_bits_for(std::size_t n) {
   std::size_t l = 0;
   while ((std::size_t(1) << l) < n) ++l;
   return std::max<std::size_t>(l, 1);
-}
-
-// Bit k (leftmost = most significant of l bits) of index i.
-bool index_bit(std::size_t i, std::size_t k, std::size_t l) {
-  return ((i >> (l - 1 - k)) & 1) != 0;
 }
 
 }  // namespace
@@ -63,16 +59,27 @@ std::size_t PolyItPir::min_servers(std::size_t n, std::size_t threshold) {
   return threshold * index_bits_for(n) + 1;
 }
 
-std::vector<Bytes> PolyItPir::make_queries(std::size_t index, ClientState& state,
+std::vector<Bytes> PolyItPir::make_queries(std::size_t /*secret*/ index, ClientState& state,
                                            crypto::Prg& prg) const {
   if (index >= n_) throw InvalidArgument("PolyItPir: index out of range");
+  // Encode the index bits into field constants branch-free: the shift
+  // amounts are public (bit position within the l-bit index), and the
+  // 0/1 selection runs through ct_select so the encoding time does not
+  // depend on which record the client wants.
+  std::vector<std::uint64_t> constants(l_);
+  // SPFE_CT_BEGIN(itpir_index_bits)
+  for (std::size_t k = 0; k < l_; ++k) {
+    const std::uint64_t bit = (static_cast<std::uint64_t>(index) >> (l_ - 1 - k)) & 1;
+    constants[k] =
+        common::ct_select_u64(common::ct_mask_from_bit(bit), field_.one(), field_.zero());
+  }
+  // SPFE_CT_END
   // Random degree-t curve gamma with gamma(0) = encoded index bits.
   std::vector<field::Polynomial<field::Fp64>> curve;
   curve.reserve(l_);
   for (std::size_t k = 0; k < l_; ++k) {
-    const std::uint64_t bit = index_bit(index, k, l_) ? field_.one() : field_.zero();
     curve.push_back(
-        field::Polynomial<field::Fp64>::random_with_constant(field_, t_, bit, prg));
+        field::Polynomial<field::Fp64>::random_with_constant(field_, t_, constants[k], prg));
   }
   state.query_points.resize(k_);
   std::vector<Bytes> msgs;
@@ -137,15 +144,29 @@ TwoServerXorPir::TwoServerXorPir(std::size_t n, std::size_t item_bytes)
   cols_ = (n + rows_ - 1) / rows_;
 }
 
-std::pair<Bytes, Bytes> TwoServerXorPir::make_queries(std::size_t index, ClientState& state,
+std::pair<Bytes, Bytes> TwoServerXorPir::make_queries(std::size_t /*secret*/ index,
+                                                      ClientState& state,
                                                       crypto::Prg& prg) const {
   if (index >= n_) throw InvalidArgument("TwoServerXorPir: index out of range");
-  state.row = index / cols_;
-  state.col = index % cols_;
   Bytes s0((rows_ + 7) / 8);
   prg.fill(s0.data(), s0.size());
   Bytes s1 = s0;
-  s1[state.row / 8] ^= static_cast<std::uint8_t>(1u << (state.row % 8));
+  // Split the index into its (row, col) grid position and flip the row bit
+  // of the second share branch-free: the div/mod runs through ct_divmod and
+  // the flip touches every byte of the share with a mask, so neither the
+  // access pattern nor the time reveals the row.
+  // SPFE_CT_BEGIN(xorpir_make_queries)
+  const common::CtDivmod dm = common::ct_divmod_u64(index, cols_);
+  state.row = static_cast<std::size_t>(dm.quotient);
+  state.col = static_cast<std::size_t>(dm.remainder);
+  for (std::size_t b = 0; b < s1.size(); ++b) {
+    std::uint8_t flip = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      flip |= static_cast<std::uint8_t>((common::ct_eq_u64(b * 8 + i, dm.quotient) & 1) << i);
+    }
+    s1[b] ^= flip;
+  }
+  // SPFE_CT_END
   return {std::move(s0), std::move(s1)};
 }
 

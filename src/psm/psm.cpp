@@ -90,8 +90,10 @@ Bytes YaoPsm::player_message(std::size_t j, std::uint64_t y,
   const mpc::GarblingResult g = mpc::garble(circuit_, prg);
   Writer w;
   for (std::size_t b = 0; b < bits_; ++b) {
+    // ct_get: y is the player's private input — the active-label selection
+    // must not branch on its bits.
     const bool bit = ((y >> b) & 1) != 0;
-    w.raw(mpc::label_to_bytes(g.input_labels[j * bits_ + b].get(bit)));
+    w.raw(mpc::label_to_bytes(g.input_labels[j * bits_ + b].ct_get(bit)));
   }
   return w.take();
 }
@@ -107,7 +109,7 @@ std::vector<Bytes> YaoPsm::player_messages(std::size_t j, std::span<const std::u
     Writer w;
     for (std::size_t b = 0; b < bits_; ++b) {
       const bool bit = ((y >> b) & 1) != 0;
-      w.raw(mpc::label_to_bytes(g.input_labels[j * bits_ + b].get(bit)));
+      w.raw(mpc::label_to_bytes(g.input_labels[j * bits_ + b].ct_get(bit)));
     }
     out.push_back(w.take());
   }

@@ -68,7 +68,7 @@ TEST_P(BigIntStress, StringAndBytesRoundTrips) {
 
 INSTANTIATE_TEST_SUITE_P(Widths, BigIntStress,
                          ::testing::Values(64u, 256u, 1024u, 4096u),
-                         [](const auto& info) { return "bits" + std::to_string(info.param); });
+                         [](const auto& inst) { return "bits" + std::to_string(inst.param); });
 
 TEST(ModArithStress, ExponentLaws) {
   crypto::Prg prg("stress-exp");

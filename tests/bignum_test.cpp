@@ -335,5 +335,79 @@ TEST(Primes, SafePrime) {
   EXPECT_TRUE(is_probable_prime((p - BigInt(1)) >> 1, prg, 16));
 }
 
+// Aliasing and limb-boundary cases for the branchless cmp_mag/sub_mag
+// rewrite: self-subtraction, borrows that ripple across whole limbs, and
+// compares decided only by the most-significant limb.
+
+TEST(BigIntBoundary, SelfSubtractionAliases) {
+  const BigInt wide = (BigInt(1) << 320) - BigInt(7);
+  BigInt a = wide;
+  a -= a;  // rhs aliases lhs
+  EXPECT_TRUE(a.is_zero());
+  EXPECT_EQ(a.bit_length(), 0u);
+  EXPECT_FALSE(a.is_negative());  // normalized zero is non-negative
+  BigInt b = wide;
+  EXPECT_TRUE((b - b).is_zero());
+  BigInt neg = -wide;
+  neg -= neg;
+  EXPECT_TRUE(neg.is_zero());
+  EXPECT_FALSE(neg.is_negative());
+}
+
+TEST(BigIntBoundary, BorrowRipplesAcrossLimbs) {
+  // (2^256) - 1 borrows through four full limbs of zeros.
+  const BigInt r = (BigInt(1) << 256) - BigInt(1);
+  EXPECT_EQ(r.bit_length(), 256u);
+  EXPECT_EQ(r.to_hex(), std::string(64, 'f'));
+  // (2^192 + 2^64) - (2^64 + 1): borrow starts below a zero middle limb.
+  const BigInt s = ((BigInt(1) << 192) + (BigInt(1) << 64)) - ((BigInt(1) << 64) + BigInt(1));
+  EXPECT_EQ(s, (BigInt(1) << 192) - BigInt(1));
+  // Subtracting 1 from an exact limb boundary drops the top limb entirely.
+  const BigInt t = (BigInt(1) << 128) - BigInt(1);
+  EXPECT_EQ(t.bit_length(), 128u);
+  EXPECT_EQ(t + BigInt(1), BigInt(1) << 128);
+}
+
+TEST(BigIntBoundary, CompareEqualPrefixOperands) {
+  // Magnitudes agree on every limb except the most significant one, so the
+  // compare is decided only at the top — a prefix-equality early exit would
+  // get every lower limb "for free".
+  const BigInt low = (BigInt(1) << 64) - BigInt(1);
+  const BigInt a = (BigInt(5) << 192) + low;
+  const BigInt b = (BigInt(6) << 192) + low;
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_LT(-b, -a);
+  // Differ only in the LEAST significant limb: decided at the bottom.
+  const BigInt c = (BigInt(9) << 192) + BigInt(1);
+  const BigInt d = (BigInt(9) << 192) + BigInt(2);
+  EXPECT_LT(c, d);
+  // Exactly equal multi-limb magnitudes.
+  EXPECT_EQ(a, (BigInt(5) << 192) + low);
+  EXPECT_FALSE(a < (BigInt(5) << 192) + low);
+  EXPECT_FALSE(a > (BigInt(5) << 192) + low);
+  // Shorter-vs-longer magnitude with identical shared limbs.
+  EXPECT_LT(low, a);
+  EXPECT_GT(a, low);
+}
+
+TEST(BigIntBoundary, ZeroLimbNormalization) {
+  // Subtraction whose result fits in fewer limbs must shed the zero top
+  // limbs: bit_length, serialization, and compares all depend on it.
+  const BigInt a = (BigInt(1) << 128) + BigInt(5);
+  const BigInt b = BigInt(1) << 128;
+  const BigInt diff = a - b;
+  EXPECT_EQ(diff, BigInt(5));
+  EXPECT_EQ(diff.bit_length(), 3u);
+  EXPECT_EQ(diff.to_bytes_be().size(), 1u);
+  EXPECT_EQ(diff.low_u64(), 5u);
+  // Result exactly one limb shorter, top limb all ones.
+  const BigInt e = ((BigInt(1) << 192) + ((BigInt(1) << 128) - BigInt(1))) - (BigInt(1) << 192);
+  EXPECT_EQ(e.bit_length(), 128u);
+  // Zero produced by cancelling large magnitudes serializes as empty.
+  EXPECT_TRUE((a - a).to_bytes_be().empty());
+  EXPECT_EQ((a - a), BigInt(0));
+}
+
 }  // namespace
 }  // namespace spfe::bignum

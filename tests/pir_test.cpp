@@ -109,9 +109,12 @@ TEST(PolyItPir, QueryHidesIndexFromSingleServer) {
   std::map<std::uint64_t, int> dist_a, dist_b;
   for (int trial = 0; trial < 4000; ++trial) {
     PolyItPir::ClientState st;
-    Reader ra(pir.make_queries(0, st, prg)[0]);
+    // Keep the query buffers alive: Reader only holds a view.
+    const auto qa = pir.make_queries(0, st, prg);
+    Reader ra(qa[0]);
     dist_a[ra.u64()]++;
-    Reader rb(pir.make_queries(7, st, prg)[0]);
+    const auto qb = pir.make_queries(7, st, prg);
+    Reader rb(qb[0]);
     dist_b[rb.u64()]++;
   }
   for (std::uint64_t v = 0; v < 101; ++v) {

@@ -194,8 +194,8 @@ INSTANTIATE_TEST_SUITE_P(AllMethods, InputSelectionTest,
                                            SelectionMethod::kPolyMaskClientKey,
                                            SelectionMethod::kPolyMaskServerKey,
                                            SelectionMethod::kEncryptedDb),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& inst) {
+                           switch (inst.param) {
                              case SelectionMethod::kPerItem:
                                return "PerItem";
                              case SelectionMethod::kPolyMaskClientKey:

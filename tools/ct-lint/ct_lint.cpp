@@ -1,0 +1,753 @@
+// ct-lint — constant-time region linter for the SPFE tree.
+//
+// Enforces the secret-taint discipline described in DESIGN.md
+// ("Constant-time policy") and src/common/secret.h. The tool is a
+// token-level scanner (no full C++ parse): it tokenizes each source file
+// with comment/string awareness, seeds a per-file taint set from
+// `/*secret*/` parameter/variable markers, propagates taint through
+// assignments to a fixpoint, and then checks every annotated
+//
+//   // SPFE_CT_BEGIN(region_name)
+//   ...
+//   // SPFE_CT_END
+//
+// region for constructs whose latency or access pattern depends on a
+// tainted value:
+//
+//   * branches: `if` / `while` / `switch` / `for`-condition / ternary
+//     with a tainted condition;
+//   * short-circuit `&&` / `||` with a tainted operand;
+//   * array subscripts `[...]` with a tainted index expression;
+//   * `/` and `%` (hardware divide latency is operand-dependent) with a
+//     tainted operand;
+//   * calls passing tainted arguments (or invoked on a tainted receiver)
+//     to functions outside the CT-audited whitelist;
+//   * `goto` (always rejected inside a region).
+//
+// Taint rules:
+//   * `/*secret*/` (exactly that block comment) taints the next
+//     identifier — used on parameter and local declarations;
+//   * assignment `lhs OP= rhs` taints the root identifier of `lhs` when
+//     any tainted identifier occurs in `rhs`;
+//   * an occurrence `x.size()` / `x.begin()` / ... (a member chain ending
+//     in a *structural* method) does not count as a tainted use: those
+//     accessors expose public shape (limb counts, buffer sizes) or are
+//     audited taint exits (`mask`, `value`, `declassify`);
+//   * whitelisted callees: any `ct_*`-prefixed function, the structural
+//     methods, and a short audited list (Montgomery kernels, `limbs`,
+//     `SecretBool` factories, `std::move`). `--allow NAME` extends the
+//     list from the command line.
+//
+// Analysis is scoped to one function at a time (a "unit": a brace block
+// whose opener follows a parameter list, plus its signature tokens), so a
+// `/*secret*/ a` in one function does not taint an unrelated `a` elsewhere
+// in the file. Within a unit the taint set is name-based, not
+// flow-sensitive: this over-taints, but checks only run inside annotated
+// regions, so the conservatism costs nothing outside them and is exactly
+// what we want inside.
+//
+// Exit status: 0 = clean, 1 = violations found, 2 = usage/IO error.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct, kLiteral, kCtBegin, kCtEnd, kSecretMark };
+  Kind kind;
+  std::string text;  // for kCtBegin: the region name
+  int line;
+};
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+// Longest-match punctuation, checked in order.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "<=>", "...", "->*", "::", "->", "==", "!=", "<=", ">=", "&&",
+    "||",  "<<",  ">>",  "+=",  "-=",  "*=", "/=", "%=", "&=", "|=", "^=", "++",
+    "--",
+};
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<Token> tokenize(const std::string& src) {
+  std::vector<Token> out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  bool at_line_start = true;  // only whitespace seen since last newline
+
+  auto advance_over = [&](std::size_t to) {
+    for (; i < to; ++i) {
+      if (src[i] == '\n') ++line;
+    }
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip to end of line, honoring continuations.
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        std::size_t eol = src.find('\n', i);
+        if (eol == std::string::npos) {
+          i = n;
+          break;
+        }
+        // Continuation if the last non-CR char before the newline is '\'.
+        std::size_t last = eol;
+        while (last > i && (src[last - 1] == '\r')) --last;
+        const bool cont = last > i && src[last - 1] == '\\';
+        advance_over(eol + 1);
+        at_line_start = true;
+        if (!cont) break;
+      }
+      continue;
+    }
+    at_line_start = false;
+    // Line comment: may carry a region marker.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t eol = src.find('\n', i);
+      if (eol == std::string::npos) eol = n;
+      const std::string body = trim(src.substr(i + 2, eol - i - 2));
+      if (body.rfind("SPFE_CT_BEGIN(", 0) == 0) {
+        const std::size_t close = body.find(')');
+        const std::string name =
+            close == std::string::npos ? "" : body.substr(14, close - 14);
+        out.push_back({Token::Kind::kCtBegin, name, line});
+      } else if (body.rfind("SPFE_CT_END", 0) == 0) {
+        out.push_back({Token::Kind::kCtEnd, "", line});
+      }
+      advance_over(eol);
+      continue;
+    }
+    // Block comment: exactly "/*secret*/" is the taint marker.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      std::size_t close = src.find("*/", i + 2);
+      if (close == std::string::npos) close = n;
+      const std::string body = src.substr(i + 2, close - i - 2);
+      if (body == "secret") out.push_back({Token::Kind::kSecretMark, "", line});
+      advance_over(std::min(close + 2, n));
+      continue;
+    }
+    // String / char literals (escape-aware; no raw-string support needed).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      out.push_back({Token::Kind::kLiteral, "", line});
+      advance_over(std::min(j + 1, n));
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(src[j])) ++j;
+      out.push_back({Token::Kind::kIdent, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      std::size_t j = i + 1;
+      while (j < n) {
+        const char d = src[j];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          ++j;
+        } else if ((d == '+' || d == '-') && (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                                              src[j - 1] == 'p' || src[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      out.push_back({Token::Kind::kNumber, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Punctuation, longest match first.
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      const std::size_t len = std::char_traits<char>::length(p);
+      if (src.compare(i, len, p) == 0) {
+        out.push_back({Token::Kind::kPunct, p, line});
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      out.push_back({Token::Kind::kPunct, std::string(1, c), line});
+      ++i;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Taint analysis and region checks
+
+// Member accessors that expose public shape or are audited taint exits: a
+// tainted identifier followed by a member chain ending in one of these
+// (called) does not count as a tainted use.
+const std::unordered_set<std::string> kStructural = {
+    "size",  "empty",    "bit_length", "resize", "reserve", "push_back",
+    "clear", "begin",    "end",        "mask",   "data",    "capacity",
+    "front", "back",     "value",      "declassify",
+};
+
+// CT-audited callees: reviewed branch-free kernels and trivial accessors
+// that may receive tainted values inside a region.
+const std::unordered_set<std::string> kAudited = {
+    "mont_mul", "mont_sqr", "mont_reduce", "limbs",
+    "from_mask", "from_bit", "select", "move",
+};
+
+const std::unordered_set<std::string> kKeywordsNotCalls = {
+    "if",     "while",  "for",      "switch",   "return",  "sizeof",
+    "alignof", "decltype", "noexcept", "catch", "throw",   "operator",
+};
+
+struct Violation {
+  int line;
+  std::string message;
+};
+
+class FileChecker {
+ public:
+  FileChecker(std::string path, std::vector<Token> tokens,
+              const std::unordered_set<std::string>& extra_allow)
+      : path_(std::move(path)), toks_(std::move(tokens)), extra_allow_(extra_allow) {}
+
+  std::vector<Violation> run() {
+    find_units();
+    std::vector<char> covered(toks_.size(), 0);
+    for (const auto& [b, e] : units_) {
+      unit_begin_ = b;
+      unit_end_ = e;
+      for (std::size_t i = b; i < e; ++i) covered[i] = 1;
+      tainted_.clear();
+      seed_taint();
+      propagate_taint();
+      check_regions();
+    }
+    // Region markers must live inside a single function: a marker at
+    // namespace/class scope would silently cover nothing.
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      if (covered[i]) continue;
+      if (toks_[i].kind == Token::Kind::kCtBegin || toks_[i].kind == Token::Kind::kCtEnd) {
+        add(toks_[i].line, "SPFE_CT region marker outside a function body");
+      }
+    }
+    std::sort(violations_.begin(), violations_.end(),
+              [](const Violation& a, const Violation& b) { return a.line < b.line; });
+    return std::move(violations_);
+  }
+
+ private:
+  // A unit is one function: signature tokens (from just after the previous
+  // `;` / `}` / `{`, which captures the parameter list and its /*secret*/
+  // markers, plus any SPFE_CT_BEGIN comment placed above the signature)
+  // through the body's closing brace, extended over a directly trailing
+  // SPFE_CT_END (the "region wraps the whole function" idiom). A brace is
+  // a function-body opener when it directly follows a `)` — optionally
+  // with cv/ref/exception qualifiers in between; class/namespace/enum and
+  // initializer braces never match.
+  void find_units() {
+    static const std::unordered_set<std::string> kQualifiers = {
+        "const", "noexcept", "override", "final", "mutable", "try"};
+    int depth = 0;
+    int unit_depth = -1;
+    std::size_t unit_start = 0;
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      if (!(toks_[i].kind == Token::Kind::kPunct)) continue;
+      if (toks_[i].text == "{") {
+        if (unit_depth < 0 && i > 0) {
+          std::size_t j = i - 1;
+          while (j > 0 && is_ident(j) && kQualifiers.count(toks_[j].text) > 0) --j;
+          if (is_punct(j, ")")) {
+            std::size_t h = i;
+            while (h > 0) {
+              const Token& t = toks_[h - 1];
+              if (t.kind == Token::Kind::kPunct &&
+                  (t.text == ";" || t.text == "}" || t.text == "{")) {
+                break;
+              }
+              // A trailing SPFE_CT_END of the previous function belongs to
+              // that function's unit, not to this signature.
+              if (t.kind == Token::Kind::kCtEnd) break;
+              --h;
+            }
+            unit_start = h;
+            unit_depth = depth;
+          }
+        }
+        ++depth;
+      } else if (toks_[i].text == "}") {
+        --depth;
+        if (unit_depth >= 0 && depth == unit_depth) {
+          std::size_t end = i + 1;
+          if (end < toks_.size() && toks_[end].kind == Token::Kind::kCtEnd) ++end;
+          units_.emplace_back(unit_start, end);
+          unit_depth = -1;
+        }
+      }
+    }
+  }
+
+  bool is_punct(std::size_t i, const char* s) const {
+    return i < toks_.size() && toks_[i].kind == Token::Kind::kPunct && toks_[i].text == s;
+  }
+  bool is_ident(std::size_t i) const {
+    return i < toks_.size() && toks_[i].kind == Token::Kind::kIdent;
+  }
+
+  // Index of the opening bracket matching the closer at `close` (backward,
+  // bounded by the current unit).
+  std::size_t match_open(std::size_t close) const {
+    const std::string& c = toks_[close].text;
+    const std::string open = c == ")" ? "(" : c == "]" ? "[" : "{";
+    int depth = 0;
+    for (std::size_t p = close; p + 1 > unit_begin_; --p) {
+      if (toks_[p].kind == Token::Kind::kPunct) {
+        if (toks_[p].text == c) ++depth;
+        else if (toks_[p].text == open && --depth == 0) return p;
+      }
+      if (p == 0) break;
+    }
+    return close;  // unbalanced; give up
+  }
+
+  // Index of the closing bracket matching the opener at `open` (forward,
+  // bounded by the current unit).
+  std::size_t match_close(std::size_t open) const {
+    const std::string& o = toks_[open].text;
+    const std::string close = o == "(" ? ")" : o == "[" ? "]" : "}";
+    int depth = 0;
+    for (std::size_t p = open; p < unit_end_; ++p) {
+      if (toks_[p].kind == Token::Kind::kPunct) {
+        if (toks_[p].text == o) ++depth;
+        else if (toks_[p].text == close && --depth == 0) return p;
+      }
+    }
+    return unit_end_ - 1;
+  }
+
+  // Does the identifier occurrence at `i` count as a tainted use? A member
+  // chain ending in a called structural accessor is exempt (public shape /
+  // audited exit).
+  bool tainted_use(std::size_t i) const {
+    if (!is_ident(i) || tainted_.count(toks_[i].text) == 0) return false;
+    std::size_t j = i + 1;
+    std::string last;
+    bool chained = false;
+    while (j + 1 < toks_.size() && (is_punct(j, ".") || is_punct(j, "->")) && is_ident(j + 1)) {
+      last = toks_[j + 1].text;
+      chained = true;
+      j += 2;
+    }
+    if (chained && is_punct(j, "(") && kStructural.count(last) > 0) return false;
+    return true;
+  }
+
+  bool span_tainted(std::size_t b, std::size_t e) const {
+    for (std::size_t i = std::max(b, unit_begin_); i < e && i < unit_end_; ++i) {
+      if (tainted_use(i)) return true;
+    }
+    return false;
+  }
+
+  bool span_has_secret_mark(std::size_t b, std::size_t e) const {
+    for (std::size_t i = b; i < e && i < unit_end_; ++i) {
+      if (toks_[i].kind == Token::Kind::kSecretMark) return true;
+    }
+    return false;
+  }
+
+  void seed_taint() {
+    for (std::size_t i = unit_begin_; i < unit_end_; ++i) {
+      if (toks_[i].kind != Token::Kind::kSecretMark) continue;
+      for (std::size_t j = i + 1; j < unit_end_; ++j) {
+        if (is_ident(j)) {
+          tainted_.insert(toks_[j].text);
+          break;
+        }
+      }
+    }
+  }
+
+  // Root identifier of the lvalue ending just before the assignment
+  // operator at `op` (walks back over subscripts and member chains).
+  std::string lhs_root(std::size_t op) const {
+    std::size_t p = op;
+    while (p > unit_begin_) {
+      --p;
+      if (is_punct(p, "]") || is_punct(p, ")")) {
+        const std::size_t o = match_open(p);
+        if (o == p || o == 0) return "";
+        p = o;
+        continue;
+      }
+      if (is_ident(p)) {
+        std::string root = toks_[p].text;
+        while (p >= 1 && (is_punct(p - 1, ".") || is_punct(p - 1, "->"))) {
+          if (p >= 2 && is_ident(p - 2)) {
+            root = toks_[p - 2].text;
+            p -= 2;
+          } else {
+            break;
+          }
+        }
+        return root;
+      }
+      if (is_punct(p, "*") || is_punct(p, "&")) continue;  // deref / ref lvalues
+      return "";
+    }
+    return "";
+  }
+
+  // End (exclusive) of the statement whose assignment operator is at `op`.
+  std::size_t statement_end(std::size_t op) const {
+    int depth = 0;
+    for (std::size_t j = op + 1; j < unit_end_; ++j) {
+      if (toks_[j].kind != Token::Kind::kPunct) continue;
+      const std::string& t = toks_[j].text;
+      if (t == "(" || t == "[" || t == "{") ++depth;
+      else if (t == ")" || t == "]" || t == "}") {
+        if (depth == 0) return j;
+        --depth;
+      } else if (t == ";" && depth == 0) {
+        return j;
+      }
+    }
+    return unit_end_;
+  }
+
+  static bool is_assign_op(const Token& t) {
+    if (t.kind != Token::Kind::kPunct) return false;
+    static const std::unordered_set<std::string> ops = {
+        "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="};
+    return ops.count(t.text) > 0;
+  }
+
+  void propagate_taint() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = unit_begin_; i < unit_end_; ++i) {
+        if (!is_assign_op(toks_[i])) continue;
+        const std::string root = lhs_root(i);
+        if (root.empty() || tainted_.count(root) > 0) continue;
+        if (span_tainted(i + 1, statement_end(i))) {
+          tainted_.insert(root);
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Operand span boundary scan for infix operators (&&, ||, /, %): walks
+  // outward from the operator to the nearest same-depth delimiter.
+  static bool is_boundary(const Token& t) {
+    if (t.kind == Token::Kind::kIdent) return t.text == "return";
+    if (t.kind != Token::Kind::kPunct) return false;
+    static const std::unordered_set<std::string> b = {
+        ";", ",", "?", ":", "&&", "||", "{", "}", "=", "+=", "-=", "*=",
+        "/=", "%=", "&=", "|=", "^=", "<<=", ">>="};
+    return b.count(t.text) > 0;
+  }
+
+  std::size_t operand_begin(std::size_t op) const {
+    int depth = 0;
+    std::size_t p = op;
+    while (p > unit_begin_) {
+      --p;
+      if (toks_[p].kind == Token::Kind::kPunct) {
+        const std::string& t = toks_[p].text;
+        if (t == ")" || t == "]" || t == "}") { ++depth; continue; }
+        if (t == "(" || t == "[" || t == "{") {
+          if (depth == 0) return p + 1;
+          --depth;
+          continue;
+        }
+      }
+      if (depth == 0 && is_boundary(toks_[p])) return p + 1;
+    }
+    return unit_begin_;
+  }
+
+  std::size_t operand_end(std::size_t op) const {
+    int depth = 0;
+    for (std::size_t p = op + 1; p < unit_end_; ++p) {
+      if (toks_[p].kind == Token::Kind::kPunct) {
+        const std::string& t = toks_[p].text;
+        if (t == "(" || t == "[" || t == "{") { ++depth; continue; }
+        if (t == ")" || t == "]" || t == "}") {
+          if (depth == 0) return p;
+          --depth;
+          continue;
+        }
+      }
+      if (depth == 0 && is_boundary(toks_[p])) return p;
+    }
+    return unit_end_;
+  }
+
+  bool callee_allowed(const std::string& name) const {
+    return name.rfind("ct_", 0) == 0 || kStructural.count(name) > 0 ||
+           kAudited.count(name) > 0 || extra_allow_.count(name) > 0;
+  }
+
+  void add(int line, std::string msg) { violations_.push_back({line, std::move(msg)}); }
+
+  void check_regions() {
+    bool in_region = false;
+    std::string region;
+    int region_line = 0;
+    for (std::size_t i = unit_begin_; i < unit_end_; ++i) {
+      const Token& tk = toks_[i];
+      if (tk.kind == Token::Kind::kCtBegin) {
+        if (in_region) {
+          add(tk.line, "SPFE_CT_BEGIN(" + tk.text + ") nested inside region '" + region + "'");
+        }
+        in_region = true;
+        region = tk.text;
+        region_line = tk.line;
+        continue;
+      }
+      if (tk.kind == Token::Kind::kCtEnd) {
+        if (!in_region) add(tk.line, "SPFE_CT_END without a matching SPFE_CT_BEGIN");
+        in_region = false;
+        continue;
+      }
+      if (!in_region) continue;
+      check_token(i);
+    }
+    if (in_region) {
+      add(region_line, "SPFE_CT_BEGIN(" + region + ") is never closed (missing SPFE_CT_END)");
+    }
+  }
+
+  void check_token(std::size_t i) {
+    const Token& tk = toks_[i];
+    if (tk.kind == Token::Kind::kIdent) {
+      const std::string& w = tk.text;
+      if (w == "goto") {
+        add(tk.line, "goto inside constant-time region");
+        return;
+      }
+      if ((w == "if" || w == "while" || w == "switch") && is_punct(i + 1, "(")) {
+        const std::size_t close = match_close(i + 1);
+        if (span_tainted(i + 2, close)) {
+          add(tk.line, "secret-dependent branch: `" + w + "` condition uses a tainted value");
+        }
+        return;
+      }
+      if (w == "for" && is_punct(i + 1, "(")) {
+        const std::size_t close = match_close(i + 1);
+        // Classic for: check only the condition segment (between the two
+        // top-level ';'). Range-for (no ';') iterates a container whose
+        // size is public shape — skip.
+        int depth = 0;
+        std::size_t first_semi = 0, second_semi = 0;
+        for (std::size_t p = i + 2; p < close; ++p) {
+          if (toks_[p].kind != Token::Kind::kPunct) continue;
+          const std::string& t = toks_[p].text;
+          if (t == "(" || t == "[" || t == "{") ++depth;
+          else if (t == ")" || t == "]" || t == "}") --depth;
+          else if (t == ";" && depth == 0) {
+            if (first_semi == 0) first_semi = p;
+            else { second_semi = p; break; }
+          }
+        }
+        if (first_semi != 0 && second_semi != 0 &&
+            span_tainted(first_semi + 1, second_semi)) {
+          add(tk.line, "secret-dependent branch: `for` condition uses a tainted value");
+        }
+        return;
+      }
+      // Call check: identifier directly followed by '('. Casts like
+      // static_cast<T>(x) have '>' before '(' and never match here.
+      if (is_punct(i + 1, "(") && kKeywordsNotCalls.count(w) == 0) {
+        const std::size_t close = match_close(i + 1);
+        // A parenthesized list containing a /*secret*/ marker is the
+        // function's own parameter list (the region wraps the whole
+        // definition), not a call.
+        if (span_has_secret_mark(i + 2, close)) return;
+        const bool args_tainted = span_tainted(i + 2, close);
+        bool recv_tainted = false;
+        {
+          std::size_t p = i;
+          while (p >= 1 && (is_punct(p - 1, ".") || is_punct(p - 1, "->"))) {
+            if (p >= 2 && (is_punct(p - 2, "]") || is_punct(p - 2, ")"))) {
+              const std::size_t o = match_open(p - 2);
+              if (o == p - 2 || o == 0) break;
+              p = o;
+              continue;
+            }
+            if (p >= 2 && is_ident(p - 2)) {
+              if (tainted_.count(toks_[p - 2].text) > 0) recv_tainted = true;
+              p -= 2;
+              continue;
+            }
+            break;
+          }
+        }
+        if ((args_tainted || (recv_tainted && kStructural.count(w) == 0)) &&
+            !callee_allowed(w)) {
+          add(tk.line, "call to non-CT-audited function '" + w + "' on tainted value");
+        }
+        return;
+      }
+      return;
+    }
+    if (tk.kind != Token::Kind::kPunct) return;
+    const std::string& t = tk.text;
+    if (t == "?") {
+      if (span_tainted(operand_begin(i), i)) {
+        add(tk.line, "secret-dependent branch: ternary condition uses a tainted value");
+      }
+      return;
+    }
+    if (t == "&&" || t == "||") {
+      if (span_tainted(operand_begin(i), i) || span_tainted(i + 1, operand_end(i))) {
+        add(tk.line, "short-circuit `" + t + "` on a tainted value");
+      }
+      return;
+    }
+    if (t == "/" || t == "%" || t == "/=" || t == "%=") {
+      if (span_tainted(operand_begin(i), i) || span_tainted(i + 1, operand_end(i))) {
+        add(tk.line, "variable-latency `" + t + "` on a tainted value");
+      }
+      return;
+    }
+    if (t == "[") {
+      // Subscript (not a lambda introducer / attribute): previous token is
+      // an identifier or a closing bracket.
+      const bool subscript =
+          i > 0 && (is_ident(i - 1) || is_punct(i - 1, "]") || is_punct(i - 1, ")"));
+      if (subscript) {
+        const std::size_t close = match_close(i);
+        if (span_tainted(i + 1, close)) {
+          add(tk.line, "secret-dependent array index");
+        }
+      }
+      return;
+    }
+  }
+
+  std::string path_;
+  std::vector<Token> toks_;
+  const std::unordered_set<std::string>& extra_allow_;
+  std::vector<std::pair<std::size_t, std::size_t>> units_;
+  std::size_t unit_begin_ = 0;
+  std::size_t unit_end_ = 0;
+  std::unordered_set<std::string> tainted_;
+  std::vector<Violation> violations_;
+};
+
+bool source_extension(const fs::path& p) {
+  const std::string e = p.extension().string();
+  return e == ".h" || e == ".hpp" || e == ".cpp" || e == ".cc" || e == ".cxx";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> inputs;
+  std::unordered_set<std::string> extra_allow;
+  bool verbose = false;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--allow") {
+      if (a + 1 >= argc) {
+        std::cerr << "ct-lint: --allow requires a function name\n";
+        return 2;
+      }
+      extra_allow.insert(argv[++a]);
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--help") {
+      std::cout << "usage: ct-lint [--allow NAME]... [--verbose] <file-or-dir>...\n";
+      return 0;
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::cerr << "usage: ct-lint [--allow NAME]... [--verbose] <file-or-dir>...\n";
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const fs::path& in : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(in, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(in, ec)) {
+        if (entry.is_regular_file() && source_extension(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(in, ec)) {
+      files.push_back(in);
+    } else {
+      std::cerr << "ct-lint: cannot read " << in.string() << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::size_t total = 0;
+  for (const fs::path& f : files) {
+    std::ifstream is(f, std::ios::binary);
+    if (!is) {
+      std::cerr << "ct-lint: cannot open " << f.string() << "\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    FileChecker checker(f.string(), tokenize(ss.str()), extra_allow);
+    const std::vector<Violation> vs = checker.run();
+    for (const Violation& v : vs) {
+      std::cerr << f.string() << ":" << v.line << ": ct-lint: " << v.message << "\n";
+    }
+    total += vs.size();
+    if (verbose && vs.empty()) {
+      std::cout << f.string() << ": clean\n";
+    }
+  }
+  std::cerr << "ct-lint: " << total << " violation(s) across " << files.size()
+            << " file(s)\n";
+  return total == 0 ? 0 : 1;
+}

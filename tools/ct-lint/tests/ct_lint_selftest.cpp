@@ -1,0 +1,54 @@
+// Self-test for tools/ct-lint: runs the built binary against the fixture
+// files and checks the exit status. CT_LINT_BIN and CT_LINT_FIXTURES are
+// injected by CMake.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace {
+
+#ifndef CT_LINT_BIN
+#error "CT_LINT_BIN must be defined by the build"
+#endif
+#ifndef CT_LINT_FIXTURES
+#error "CT_LINT_FIXTURES must be defined by the build"
+#endif
+
+// Exit status of `ct-lint <fixture>` (output suppressed).
+int run_lint(const std::string& fixture) {
+  const std::string cmd = std::string(CT_LINT_BIN) + " " + std::string(CT_LINT_FIXTURES) +
+                          "/" + fixture + " > /dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+  if (status == -1) return -1;
+#if defined(WIFEXITED)
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+#else
+  return status;
+#endif
+}
+
+TEST(CtLintSelfTest, CleanRegionPasses) { EXPECT_EQ(run_lint("clean.cpp"), 0); }
+
+TEST(CtLintSelfTest, SecretDependentBranchFails) { EXPECT_EQ(run_lint("bad_branch.cpp"), 1); }
+
+TEST(CtLintSelfTest, SecretDependentTernaryFails) { EXPECT_EQ(run_lint("bad_ternary.cpp"), 1); }
+
+TEST(CtLintSelfTest, SecretIndexedSubscriptFails) { EXPECT_EQ(run_lint("bad_subscript.cpp"), 1); }
+
+TEST(CtLintSelfTest, SecretDivisionFails) { EXPECT_EQ(run_lint("bad_div.cpp"), 1); }
+
+TEST(CtLintSelfTest, ShortCircuitOnSecretFails) { EXPECT_EQ(run_lint("bad_shortcircuit.cpp"), 1); }
+
+TEST(CtLintSelfTest, NonWhitelistedCallFails) { EXPECT_EQ(run_lint("bad_call.cpp"), 1); }
+
+TEST(CtLintSelfTest, UnclosedRegionFails) { EXPECT_EQ(run_lint("bad_unclosed.cpp"), 1); }
+
+// The acceptance-criteria fixture: a mont_mul-shaped kernel with a seeded
+// secret-dependent zero-limb skip must be rejected.
+TEST(CtLintSelfTest, SeededMontMulBranchFails) { EXPECT_EQ(run_lint("seeded_mont_mul.cpp"), 1); }
+
+// Whole fixture directory: the bad files dominate, so the scan fails.
+TEST(CtLintSelfTest, FixtureDirectoryFails) { EXPECT_EQ(run_lint(""), 1); }
+
+}  // namespace
