@@ -40,4 +40,12 @@ class ProtocolError : public Error {
   explicit ProtocolError(const std::string& what) : Error(what) {}
 };
 
+// A server did not deliver an expected message (crashed, dropped, or delayed
+// past the round deadline). Robust clients catch this and mark the server as
+// an erasure instead of aborting the whole protocol run.
+class ServerUnavailable : public ProtocolError {
+ public:
+  explicit ServerUnavailable(const std::string& what) : ProtocolError(what) {}
+};
+
 }  // namespace spfe

@@ -4,6 +4,11 @@
 // tolerated by adding 2t' additional servers". The servers' answers lie on a
 // degree-d polynomial; with k >= d + 1 + 2e points of which at most e are
 // corrupted, `berlekamp_welch` recovers the polynomial's value at any point.
+//
+// The robust protocol clients additionally face *erasures* — servers that
+// crashed or whose answers failed to parse. An erasure costs one point, a
+// silent error costs two: from s surviving points a degree-d polynomial is
+// decodable as long as 2*errors <= s - d - 1 (`decode_with_erasures`).
 #pragma once
 
 #include <cstddef>
@@ -58,87 +63,142 @@ std::optional<std::vector<typename F::value_type>> solve_linear_system(
   return z;
 }
 
-// Decodes (xs[i], ys[i]) as a degree <= d polynomial with at most
-// `max_errors` corrupted points, and evaluates it at `at`. Requires
-// xs.size() >= d + 1 + 2*max_errors and distinct xs. Returns nullopt when
-// decoding fails (more errors than the budget).
+// A successful decoding: `support_xs`/`support_ys` are d+1 points of the
+// recovered polynomial (evaluate it anywhere via `eval`), and `agrees[i]`
+// says whether input point i lies on it — a false entry is a corrected
+// error. The robust clients use `agrees` to attribute blame per server.
 template <FieldLike F>
-std::optional<typename F::value_type> berlekamp_welch(
+struct RsDecoding {
+  std::vector<typename F::value_type> support_xs;
+  std::vector<typename F::value_type> support_ys;
+  std::vector<bool> agrees;
+
+  typename F::value_type eval(const F& field, const typename F::value_type& at) const {
+    return interpolate_at(field, support_xs, support_ys, at);
+  }
+
+  std::size_t num_errors() const {
+    std::size_t n = 0;
+    for (bool ok : agrees) {
+      if (!ok) ++n;
+    }
+    return n;
+  }
+};
+
+// Decodes (xs[i], ys[i]) as a degree <= d polynomial with at most
+// `max_errors` corrupted points. Requires xs.size() >= d + 1 + 2*max_errors
+// and distinct xs. Returns nullopt when the points are not within
+// `max_errors` of any degree-d polynomial.
+template <FieldLike F>
+std::optional<RsDecoding<F>> berlekamp_welch_decode(
     const F& field, const std::vector<typename F::value_type>& xs,
-    const std::vector<typename F::value_type>& ys, std::size_t d, std::size_t max_errors,
-    const typename F::value_type& at) {
+    const std::vector<typename F::value_type>& ys, std::size_t d, std::size_t max_errors) {
   const std::size_t k = xs.size();
   if (ys.size() != k) throw InvalidArgument("berlekamp_welch: point size mismatch");
   if (k < d + 1 + 2 * max_errors) {
     throw InvalidArgument("berlekamp_welch: not enough points for the error budget");
   }
-  if (max_errors == 0) return interpolate_at(field, xs, ys, at);
 
-  // Find N (deg <= d + e) and monic E (deg = e) with N(x_i) = y_i * E(x_i).
-  // Unknowns: N's d+e+1 coefficients, E's e lower coefficients (leading = 1).
-  const std::size_t e = max_errors;
-  const std::size_t n_coeffs = d + e + 1;
-  const std::size_t cols = n_coeffs + e;
-  std::vector<std::vector<typename F::value_type>> a(
-      k, std::vector<typename F::value_type>(cols, field.zero()));
-  std::vector<typename F::value_type> b(k, field.zero());
-  for (std::size_t i = 0; i < k; ++i) {
-    // N coefficients: + x^j
-    typename F::value_type pw = field.one();
-    for (std::size_t j = 0; j < n_coeffs; ++j) {
-      a[i][j] = pw;
-      pw = field.mul(pw, xs[i]);
-    }
-    // E lower coefficients: - y_i * x^j
-    pw = field.one();
-    for (std::size_t j = 0; j < e; ++j) {
-      a[i][n_coeffs + j] = field.neg(field.mul(ys[i], pw));
-      pw = field.mul(pw, xs[i]);
-    }
-    // rhs: y_i * x^e  (from the monic leading term of E)
-    typename F::value_type xe = field.one();
-    for (std::size_t j = 0; j < e; ++j) xe = field.mul(xe, xs[i]);
-    b[i] = field.mul(ys[i], xe);
-  }
-  const auto sol = solve_linear_system(field, std::move(a), std::move(b));
-  if (!sol.has_value()) return std::nullopt;
-
-  std::vector<typename F::value_type> n_coeff(sol->begin(),
-                                              sol->begin() + static_cast<std::ptrdiff_t>(n_coeffs));
-  std::vector<typename F::value_type> e_coeff(sol->begin() + static_cast<std::ptrdiff_t>(n_coeffs),
-                                              sol->end());
-  e_coeff.push_back(field.one());  // monic leading term
-  const Polynomial<F> numerator(field, std::move(n_coeff));
-  const Polynomial<F> error_locator(field, std::move(e_coeff));
-
-  // Verify the decoding: Q = N / E must be a degree <= d polynomial agreeing
-  // with all but <= e points. Recover Q by interpolation over non-error
-  // points, then check.
   std::vector<typename F::value_type> good_xs, good_ys;
-  for (std::size_t i = 0; i < k; ++i) {
-    if (!field.eq(error_locator.eval(xs[i]), field.zero())) {
-      const auto ev = field.mul(ys[i], error_locator.eval(xs[i]));
-      if (field.eq(numerator.eval(xs[i]), ev)) {
+  if (max_errors == 0) {
+    // No error budget: every point must already lie on one polynomial.
+    good_xs.assign(xs.begin(), xs.end());
+    good_ys.assign(ys.begin(), ys.end());
+  } else {
+    // Find N (deg <= d + e) and monic E (deg = e) with N(x_i) = y_i * E(x_i).
+    // Unknowns: N's d+e+1 coefficients, E's e lower coefficients (leading = 1).
+    const std::size_t e = max_errors;
+    const std::size_t n_coeffs = d + e + 1;
+    const std::size_t cols = n_coeffs + e;
+    std::vector<std::vector<typename F::value_type>> a(
+        k, std::vector<typename F::value_type>(cols, field.zero()));
+    std::vector<typename F::value_type> b(k, field.zero());
+    for (std::size_t i = 0; i < k; ++i) {
+      // N coefficients: + x^j
+      typename F::value_type pw = field.one();
+      for (std::size_t j = 0; j < n_coeffs; ++j) {
+        a[i][j] = pw;
+        pw = field.mul(pw, xs[i]);
+      }
+      // E lower coefficients: - y_i * x^j
+      pw = field.one();
+      for (std::size_t j = 0; j < e; ++j) {
+        a[i][n_coeffs + j] = field.neg(field.mul(ys[i], pw));
+        pw = field.mul(pw, xs[i]);
+      }
+      // rhs: y_i * x^e  (from the monic leading term of E)
+      typename F::value_type xe = field.one();
+      for (std::size_t j = 0; j < e; ++j) xe = field.mul(xe, xs[i]);
+      b[i] = field.mul(ys[i], xe);
+    }
+    const auto sol = solve_linear_system(field, std::move(a), std::move(b));
+    if (!sol.has_value()) return std::nullopt;
+
+    std::vector<typename F::value_type> n_coeff(
+        sol->begin(), sol->begin() + static_cast<std::ptrdiff_t>(n_coeffs));
+    std::vector<typename F::value_type> e_coeff(
+        sol->begin() + static_cast<std::ptrdiff_t>(n_coeffs), sol->end());
+    e_coeff.push_back(field.one());  // monic leading term
+    const Polynomial<F> numerator(field, std::move(n_coeff));
+    const Polynomial<F> error_locator(field, std::move(e_coeff));
+
+    // Candidate non-error points: E(x_i) != 0 and N(x_i) = y_i E(x_i).
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto ev = error_locator.eval(xs[i]);
+      if (!field.eq(ev, field.zero()) && field.eq(numerator.eval(xs[i]), field.mul(ys[i], ev))) {
         good_xs.push_back(xs[i]);
         good_ys.push_back(ys[i]);
       }
     }
-  }
-  if (good_xs.size() < d + 1 || good_xs.size() + e < k) {
     if (good_xs.size() < d + 1) return std::nullopt;
   }
-  // Interpolate Q through the first d+1 good points and verify against all
-  // good points.
-  std::vector<typename F::value_type> qx(good_xs.begin(),
-                                         good_xs.begin() + static_cast<std::ptrdiff_t>(d + 1));
-  std::vector<typename F::value_type> qy(good_ys.begin(),
-                                         good_ys.begin() + static_cast<std::ptrdiff_t>(d + 1));
+
+  // Verify: interpolate Q through the first d+1 good points; all but at most
+  // `max_errors` input points must agree with it.
+  RsDecoding<F> decoding;
+  decoding.support_xs.assign(good_xs.begin(),
+                             good_xs.begin() + static_cast<std::ptrdiff_t>(d + 1));
+  decoding.support_ys.assign(good_ys.begin(),
+                             good_ys.begin() + static_cast<std::ptrdiff_t>(d + 1));
+  decoding.agrees.resize(k);
   std::size_t agree = 0;
   for (std::size_t i = 0; i < k; ++i) {
-    if (field.eq(interpolate_at(field, qx, qy, xs[i]), ys[i])) ++agree;
+    const bool ok =
+        field.eq(interpolate_at(field, decoding.support_xs, decoding.support_ys, xs[i]), ys[i]);
+    decoding.agrees[i] = ok;
+    if (ok) ++agree;
   }
-  if (agree + e < k) return std::nullopt;
-  return interpolate_at(field, qx, qy, at);
+  if (agree + max_errors < k) return std::nullopt;
+  return decoding;
+}
+
+// Decodes surviving points (erasures already removed) as a degree <= d
+// polynomial, spending the leftover redundancy on silent errors: from s
+// points, up to floor((s - d - 1) / 2) corruptions are correctable. Returns
+// nullopt if s < d + 1 or the points are beyond that budget.
+template <FieldLike F>
+std::optional<RsDecoding<F>> decode_with_erasures(const F& field,
+                                                  const std::vector<typename F::value_type>& xs,
+                                                  const std::vector<typename F::value_type>& ys,
+                                                  std::size_t d) {
+  const std::size_t s = xs.size();
+  if (ys.size() != s) throw InvalidArgument("decode_with_erasures: point size mismatch");
+  if (s < d + 1) return std::nullopt;
+  const std::size_t e_cap = (s - d - 1) / 2;
+  return berlekamp_welch_decode(field, xs, ys, d, e_cap);
+}
+
+// Decodes and evaluates at `at`; nullopt when decoding fails (more errors
+// than the budget).
+template <FieldLike F>
+std::optional<typename F::value_type> berlekamp_welch(
+    const F& field, const std::vector<typename F::value_type>& xs,
+    const std::vector<typename F::value_type>& ys, std::size_t d, std::size_t max_errors,
+    const typename F::value_type& at) {
+  const auto decoding = berlekamp_welch_decode(field, xs, ys, d, max_errors);
+  if (!decoding.has_value()) return std::nullopt;
+  return decoding->eval(field, at);
 }
 
 }  // namespace spfe::field

@@ -1,0 +1,122 @@
+// Deterministic fault injection for the message-passing substrate.
+//
+// A `FaultPlan` is a seeded, per-server, per-message schedule of network
+// faults; a `FaultyStarNetwork` is a `StarNetwork` decorator that applies it
+// while keeping `CommStats` metering exact (a sender pays for every message
+// it transmits exactly once, however delivery is mangled; a crashed server
+// transmits nothing). Protocols run over the decorator unchanged — the only
+// behavioural difference is that receives on an empty or crashed channel
+// throw the typed `ServerUnavailable` (the simulator's timeout) instead of
+// `ProtocolError`, so robust clients can mark the server as an erasure and
+// keep going. An empty plan is byte-identical to the perfect network.
+//
+// Fault taxonomy (see DESIGN.md "Fault model and robust reconstruction"):
+//   kDrop           message is metered at the sender, never delivered
+//   kCorruptByte    one byte XORed with a nonzero mask (Byzantine server)
+//   kTruncate       only a prefix is delivered (malformed at the parser)
+//   kDuplicate      delivered twice; the duplicate is not metered
+//   kDelayHalfRound first receive attempt times out (ServerUnavailable),
+//                   the message is available on the next attempt
+//   crash_after     server dies after N channel operations: later receives
+//                   throw ServerUnavailable, later sends vanish unmetered
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "crypto/prg.h"
+#include "net/network.h"
+
+namespace spfe::net {
+
+enum class FaultKind : std::uint8_t {
+  kDrop,
+  kCorruptByte,
+  kTruncate,
+  kDuplicate,
+  kDelayHalfRound,
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+struct Fault {
+  FaultKind kind = FaultKind::kDrop;
+  std::size_t byte_index = 0;     // kCorruptByte: position (reduced mod message size)
+  std::uint8_t xor_mask = 0x01;   // kCorruptByte: nonzero flip mask
+  std::size_t keep_bytes = 0;     // kTruncate: delivered prefix length
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  // Schedules `fault` for the `ordinal`-th message (0-based, counted per
+  // channel and direction) sent towards/from server `server`. The first
+  // fault registered for a (direction, server, ordinal) slot wins.
+  void add(Direction direction, std::size_t server, std::size_t ordinal, Fault fault);
+
+  // Server `server` dies after completing `ops` channel operations
+  // (receives + sends). 0 means dead on arrival.
+  void crash_after(std::size_t server, std::size_t ops);
+
+  const Fault* find(Direction direction, std::size_t server, std::size_t ordinal) const;
+  std::optional<std::size_t> crash_point(std::size_t server) const;
+
+  bool empty() const { return faults_.empty() && crash_points_.empty(); }
+  std::size_t num_faults() const { return faults_.size() + crash_points_.size(); }
+
+  // Seeded random plan over `num_servers` servers: picks disjoint server
+  // subsets of the given sizes and schedules persistent faults for `rounds`
+  // protocol rounds. Byzantine servers silently corrupt (sometimes truncate)
+  // answers or have their queries corrupted in flight; unavailable servers
+  // drop, delay, or crash. Benign duplicates are sprinkled over all servers.
+  // A plan drawn with byzantine <= e and unavailable <= c stays within the
+  // e/c budget of a client provisioned with k >= d + 1 + 2e + c servers.
+  static FaultPlan random(crypto::Prg& prg, std::size_t num_servers, std::size_t byzantine,
+                          std::size_t unavailable, std::size_t rounds = 4);
+
+  const std::vector<std::size_t>& byzantine_servers() const { return byzantine_; }
+  const std::vector<std::size_t>& unavailable_servers() const { return unavailable_; }
+
+ private:
+  // key: (direction, server, ordinal)
+  using Key = std::tuple<int, std::size_t, std::size_t>;
+  std::map<Key, Fault> faults_;
+  std::map<std::size_t, std::size_t> crash_points_;
+  std::vector<std::size_t> byzantine_;
+  std::vector<std::size_t> unavailable_;
+};
+
+class FaultyStarNetwork : public StarNetwork {
+ public:
+  FaultyStarNetwork(std::size_t num_servers, FaultPlan plan);
+
+  void client_send(std::size_t s, Bytes message) override;
+  void server_send(std::size_t s, Bytes message) override;
+  // Throw ServerUnavailable (never ProtocolError) when nothing is
+  // deliverable: empty queue, delayed front message, or crashed server.
+  Bytes server_receive(std::size_t s) override;
+  Bytes client_receive(std::size_t s) override;
+
+  bool server_crashed(std::size_t s) const;
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  // Applies a fault to `message` and enqueues the result (or doesn't).
+  void deliver(std::deque<Bytes>& queue, std::deque<bool>& delayed, const Fault* fault,
+               Bytes message);
+
+  FaultPlan plan_;
+  std::vector<std::size_t> client_ordinal_;  // messages sent client -> s
+  std::vector<std::size_t> server_ordinal_;  // messages sent s -> client
+  std::vector<std::size_t> server_ops_;      // completed receives + sends per server
+  // Parallel to the base queues: true marks a message still held back by
+  // kDelayHalfRound (the first receive attempt clears the mark and throws).
+  std::vector<std::deque<bool>> to_server_delayed_;
+  std::vector<std::deque<bool>> to_client_delayed_;
+};
+
+}  // namespace spfe::net

@@ -1,6 +1,20 @@
 #include "net/network.h"
 
+#include <string>
+
 namespace spfe::net {
+
+const char* direction_name(Direction d) {
+  switch (d) {
+    case Direction::kNone:
+      return "none";
+    case Direction::kClientToServer:
+      return "client->server";
+    case Direction::kServerToClient:
+      return "server->client";
+  }
+  return "?";
+}
 
 StarNetwork::StarNetwork(std::size_t num_servers)
     : to_server_(num_servers), to_client_(num_servers) {
@@ -8,7 +22,18 @@ StarNetwork::StarNetwork(std::size_t num_servers)
 }
 
 void StarNetwork::check_server(std::size_t s) const {
-  if (s >= to_server_.size()) throw InvalidArgument("StarNetwork: server index out of range");
+  if (s >= to_server_.size()) {
+    throw InvalidArgument("StarNetwork: server index " + std::to_string(s) +
+                          " out of range (have " + std::to_string(to_server_.size()) +
+                          " servers)");
+  }
+}
+
+std::string StarNetwork::channel_state(std::size_t s) const {
+  return "server " + std::to_string(s) + ", to-server queue depth " +
+         std::to_string(to_server_[s].size()) + ", to-client queue depth " +
+         std::to_string(to_client_[s].size()) + ", last direction " +
+         direction_name(last_direction_);
 }
 
 void StarNetwork::note_direction(Direction d) {
@@ -18,26 +43,34 @@ void StarNetwork::note_direction(Direction d) {
   }
 }
 
+void StarNetwork::meter_send(Direction d, std::size_t num_bytes) {
+  note_direction(d);
+  if (d == Direction::kClientToServer) {
+    stats_.client_to_server_bytes += num_bytes;
+    ++stats_.client_to_server_messages;
+  } else {
+    stats_.server_to_client_bytes += num_bytes;
+    ++stats_.server_to_client_messages;
+  }
+}
+
 void StarNetwork::client_send(std::size_t s, Bytes message) {
   check_server(s);
-  note_direction(Direction::kClientToServer);
-  stats_.client_to_server_bytes += message.size();
-  ++stats_.client_to_server_messages;
+  meter_send(Direction::kClientToServer, message.size());
   to_server_[s].push_back(std::move(message));
 }
 
 void StarNetwork::server_send(std::size_t s, Bytes message) {
   check_server(s);
-  note_direction(Direction::kServerToClient);
-  stats_.server_to_client_bytes += message.size();
-  ++stats_.server_to_client_messages;
+  meter_send(Direction::kServerToClient, message.size());
   to_client_[s].push_back(std::move(message));
 }
 
 Bytes StarNetwork::server_receive(std::size_t s) {
   check_server(s);
   if (to_server_[s].empty()) {
-    throw ProtocolError("StarNetwork: server expected a message but none pending");
+    throw ProtocolError("StarNetwork: server expected a message but none pending (" +
+                        channel_state(s) + ")");
   }
   Bytes m = std::move(to_server_[s].front());
   to_server_[s].pop_front();
@@ -47,7 +80,8 @@ Bytes StarNetwork::server_receive(std::size_t s) {
 Bytes StarNetwork::client_receive(std::size_t s) {
   check_server(s);
   if (to_client_[s].empty()) {
-    throw ProtocolError("StarNetwork: client expected a message but none pending");
+    throw ProtocolError("StarNetwork: client expected a message but none pending (" +
+                        channel_state(s) + ")");
   }
   Bytes m = std::move(to_client_[s].front());
   to_client_[s].pop_front();

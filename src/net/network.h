@@ -8,10 +8,16 @@
 // every server -> client) is two half-rounds. This reproduces fractional
 // round counts such as the 1.5/2.5 rounds of §3.3.2 variant 2, where the
 // server speaks first.
+//
+// The send/receive methods are virtual so a decorator can inject faults
+// underneath an unmodified protocol implementation (see net/fault.h for the
+// adversarial `FaultyStarNetwork`); the base class always delivers
+// perfectly.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <vector>
 
 #include "common/bytes.h"
@@ -30,20 +36,25 @@ struct CommStats {
   double rounds() const { return static_cast<double>(half_rounds) / 2.0; }
 };
 
+// Direction of the last message flow (drives half-round accounting).
+enum class Direction { kNone, kClientToServer, kServerToClient };
+const char* direction_name(Direction d);
+
 class StarNetwork {
  public:
   explicit StarNetwork(std::size_t num_servers);
+  virtual ~StarNetwork() = default;
 
   std::size_t num_servers() const { return to_server_.size(); }
 
   // Client -> server `s`.
-  void client_send(std::size_t s, Bytes message);
+  virtual void client_send(std::size_t s, Bytes message);
   // Server `s` -> client.
-  void server_send(std::size_t s, Bytes message);
+  virtual void server_send(std::size_t s, Bytes message);
   // Receives throw ProtocolError when no message is pending (a protocol bug
   // or a deviating counterparty).
-  Bytes server_receive(std::size_t s);
-  Bytes client_receive(std::size_t s);
+  virtual Bytes server_receive(std::size_t s);
+  virtual Bytes client_receive(std::size_t s);
 
   bool server_has_message(std::size_t s) const;
   bool client_has_message(std::size_t s) const;
@@ -53,16 +64,22 @@ class StarNetwork {
   const CommStats& stats() const { return stats_; }
   void reset_stats();
 
- private:
-  enum class Direction { kNone, kClientToServer, kServerToClient };
-
-  void note_direction(Direction d);
+ protected:
+  // Meters one sent message (byte/message counters + half-round detection)
+  // without touching the queues, so fault decorators can account for a
+  // transmission exactly once however delivery is mangled.
+  void meter_send(Direction d, std::size_t num_bytes);
   void check_server(std::size_t s) const;
+  // One-line queue/direction snapshot for error messages.
+  std::string channel_state(std::size_t s) const;
 
   std::vector<std::deque<Bytes>> to_server_;
   std::vector<std::deque<Bytes>> to_client_;
   Direction last_direction_ = Direction::kNone;
   CommStats stats_;
+
+ private:
+  void note_direction(Direction d);
 };
 
 }  // namespace spfe::net

@@ -1,0 +1,52 @@
+#include "net/robust.h"
+
+namespace spfe::net {
+
+const char* server_fate_name(ServerFate fate) {
+  switch (fate) {
+    case ServerFate::kOk:
+      return "ok";
+    case ServerFate::kUnavailable:
+      return "unavailable";
+    case ServerFate::kMalformed:
+      return "malformed";
+    case ServerFate::kCorrected:
+      return "corrected";
+  }
+  return "?";
+}
+
+std::string RobustnessReport::summary() const {
+  std::string out = success ? "robust run succeeded" : "robust run FAILED";
+  out += " after " + std::to_string(attempts) + " attempt(s): " + std::to_string(servers) +
+         " servers, " + std::to_string(erasures) + " erasure(s), " +
+         std::to_string(errors_corrected) + " corrected error(s)";
+  if (!failure_reason.empty()) out += "; " + failure_reason;
+  for (std::size_t s = 0; s < verdicts.size(); ++s) {
+    if (verdicts[s].fate == ServerFate::kOk) continue;
+    out += "\n  server " + std::to_string(s) + ": " + server_fate_name(verdicts[s].fate);
+    if (!verdicts[s].detail.empty()) out += " (" + verdicts[s].detail + ")";
+  }
+  return out;
+}
+
+void drain_star_network(StarNetwork& net) {
+  for (std::size_t s = 0; s < net.num_servers(); ++s) {
+    // Each receive either pops a message, clears a delay mark, or (for a
+    // crashed server) clears the whole queue — so both loops terminate.
+    while (net.server_has_message(s)) {
+      try {
+        net.server_receive(s);
+      } catch (const ServerUnavailable&) {
+      }
+    }
+    while (net.client_has_message(s)) {
+      try {
+        net.client_receive(s);
+      } catch (const ServerUnavailable&) {
+      }
+    }
+  }
+}
+
+}  // namespace spfe::net

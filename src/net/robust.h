@@ -1,0 +1,204 @@
+// Byzantine/crash-tolerant client driver for the one-round star protocols.
+//
+// All §3.1-style protocols share one shape: the client sends k independent
+// queries, every server replies with one point of a degree-d polynomial, and
+// the client interpolates at 0. `run_robust_star` runs that exchange against
+// an unreliable network: servers that time out (`ServerUnavailable`) or send
+// unparseable answers become *erasures*; the surviving points go through
+// Berlekamp–Welch, which additionally corrects up to floor((s-d-1)/2) silent
+// lies among s survivors. A client provisioned with k >= d + 1 + 2e + c
+// servers therefore tolerates any mix of <= e corruptions and <= c crashes
+// (a detected fault costs one point, an undetected one costs two).
+//
+// If an attempt is not decodable the client retries with *fresh randomness*
+// (new curve, new SPIR mask seed — query points are never reused, so the
+// privacy of the retrieved index is preserved across retries; see DESIGN.md
+// "Fault model and robust reconstruction"). After `max_attempts` the driver
+// throws `RobustProtocolError` carrying a `RobustnessReport` that names each
+// server's fate — never a wrong value, never a hang.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "field/field.h"
+#include "field/reed_solomon.h"
+#include "net/network.h"
+
+namespace spfe::net {
+
+enum class ServerFate : std::uint8_t {
+  kOk,           // answered; answer lay on the decoded polynomial
+  kUnavailable,  // crashed / dropped / delayed past the deadline (erasure)
+  kMalformed,    // rejected the query or sent an unparseable answer (erasure)
+  kCorrected,    // answered in-field but off-polynomial (a corrected lie)
+};
+
+const char* server_fate_name(ServerFate fate);
+
+struct ServerReport {
+  ServerFate fate = ServerFate::kOk;
+  std::string detail;
+};
+
+// Diagnostic attached to every robust run (and to the terminal error):
+// which servers were excluded and why, and what the decoding cost.
+struct RobustnessReport {
+  bool success = false;
+  std::size_t attempts = 0;
+  std::size_t servers = 0;
+  std::size_t erasures = 0;          // final attempt: unavailable + malformed
+  std::size_t errors_corrected = 0;  // final attempt: off-polynomial answers
+  std::vector<ServerReport> verdicts;  // final attempt, one per server
+  std::string failure_reason;          // empty on success
+
+  std::string summary() const;
+};
+
+struct RobustConfig {
+  // Query rounds before giving up (>= 1). Each retry re-randomizes.
+  std::size_t max_attempts = 3;
+};
+
+class RobustProtocolError : public ProtocolError {
+ public:
+  RobustProtocolError(const std::string& what, RobustnessReport report)
+      : ProtocolError(what + "\n" + report.summary()), report_(std::move(report)) {}
+
+  const RobustnessReport& report() const { return report_; }
+
+ private:
+  RobustnessReport report_;
+};
+
+// A robust run's result: the honest protocol output plus the diagnostic.
+struct RobustResult {
+  std::uint64_t value = 0;
+  RobustnessReport report;
+};
+
+// Discards every queued message so `net.idle()` holds again, swallowing the
+// ServerUnavailable timeouts thrown while flushing delayed/crashed channels.
+void drain_star_network(StarNetwork& net);
+
+// Runs one robust exchange. Callbacks:
+//   make_queries(attempt, abscissae_out) -> k query messages; must use fresh
+//       randomness each attempt and record each server's abscissa;
+//   server_eval(server, attempt, query) -> answer bytes; a thrown spfe::Error
+//       means the server rejected the (possibly mangled) query;
+//   parse_answer(answer) -> field value; a thrown spfe::Error marks the
+//       answer malformed (an erasure, not a decoding input).
+// Returns the polynomial's value at 0 and the report. Throws
+// RobustProtocolError when no attempt decodes.
+template <field::FieldLike F, typename MakeQueries, typename ServerEval, typename ParseAnswer>
+std::pair<typename F::value_type, RobustnessReport> run_robust_star(
+    const F& field, StarNetwork& net, std::size_t degree, const RobustConfig& cfg,
+    MakeQueries&& make_queries, ServerEval&& server_eval, ParseAnswer&& parse_answer) {
+  if (cfg.max_attempts == 0) {
+    throw InvalidArgument("run_robust_star: max_attempts must be >= 1");
+  }
+  const std::size_t k = net.num_servers();
+  RobustnessReport report;
+  report.servers = k;
+
+  for (std::size_t attempt = 0; attempt < cfg.max_attempts; ++attempt) {
+    report.attempts = attempt + 1;
+    report.verdicts.assign(k, ServerReport{});
+    // Stale messages from a previous attempt (delayed answers, duplicates)
+    // must never leak into this attempt's decode.
+    if (attempt > 0) drain_star_network(net);
+
+    std::vector<typename F::value_type> abscissae;
+    const std::vector<Bytes> queries = make_queries(attempt, abscissae);
+    if (queries.size() != k || abscissae.size() != k) {
+      throw InvalidArgument("run_robust_star: make_queries must cover every server");
+    }
+    for (std::size_t s = 0; s < k; ++s) net.client_send(s, queries[s]);
+
+    // Server side: evaluate and reply; a server that never saw its query or
+    // rejected it sends nothing.
+    for (std::size_t s = 0; s < k; ++s) {
+      try {
+        Bytes query = net.server_receive(s);
+        Bytes ans = server_eval(s, attempt, std::move(query));
+        net.server_send(s, std::move(ans));
+      } catch (const ServerUnavailable& e) {
+        report.verdicts[s] = {ServerFate::kUnavailable, e.what()};
+      } catch (const Error& e) {
+        report.verdicts[s] = {ServerFate::kMalformed,
+                              std::string("server rejected query: ") + e.what()};
+      }
+      // Flush duplicate queries so they cannot shadow the next attempt.
+      while (net.server_has_message(s)) {
+        try {
+          net.server_receive(s);
+        } catch (const ServerUnavailable&) {
+        }
+      }
+    }
+
+    // Client side: collect whatever arrived.
+    std::vector<typename F::value_type> xs, ys;
+    std::vector<std::size_t> owners;  // survivor -> server index
+    for (std::size_t s = 0; s < k; ++s) {
+      if (report.verdicts[s].fate == ServerFate::kOk) {
+        try {
+          const Bytes answer = net.client_receive(s);
+          const typename F::value_type y = parse_answer(answer);
+          xs.push_back(abscissae[s]);
+          ys.push_back(y);
+          owners.push_back(s);
+        } catch (const ServerUnavailable& e) {
+          report.verdicts[s] = {ServerFate::kUnavailable, e.what()};
+        } catch (const Error& e) {
+          report.verdicts[s] = {ServerFate::kMalformed,
+                                std::string("unparseable answer: ") + e.what()};
+        }
+      }
+      while (net.client_has_message(s)) {
+        try {
+          net.client_receive(s);
+        } catch (const ServerUnavailable&) {
+        }
+      }
+    }
+
+    if (xs.size() >= degree + 1) {
+      const auto decoding = field::decode_with_erasures(field, xs, ys, degree);
+      if (decoding.has_value()) {
+        for (std::size_t i = 0; i < owners.size(); ++i) {
+          if (!decoding->agrees[i]) {
+            report.verdicts[owners[i]] = {ServerFate::kCorrected,
+                                          "answer did not lie on the decoded polynomial"};
+          }
+        }
+        report.success = true;
+        report.erasures = k - xs.size();
+        report.errors_corrected = decoding->num_errors();
+        report.failure_reason.clear();
+        drain_star_network(net);
+        return {decoding->eval(field, field.zero()), std::move(report)};
+      }
+      report.failure_reason = "surviving answers not within the correctable error budget (" +
+                              std::to_string(xs.size()) + " of " + std::to_string(k) +
+                              " usable, degree " + std::to_string(degree) + ")";
+    } else {
+      report.failure_reason = "only " + std::to_string(xs.size()) + " of " + std::to_string(k) +
+                              " answers usable; interpolation needs " +
+                              std::to_string(degree + 1);
+    }
+  }
+
+  report.success = false;
+  drain_star_network(net);
+  RobustnessReport thrown = report;
+  throw RobustProtocolError("robust protocol failed after " +
+                                std::to_string(report.attempts) + " attempt(s)",
+                            std::move(thrown));
+}
+
+}  // namespace spfe::net

@@ -4,6 +4,7 @@
 #include "common/secret.h"
 #include "common/serialize.h"
 #include "field/polynomial.h"
+#include "field/reed_solomon.h"
 
 namespace spfe::pir {
 namespace {
@@ -134,6 +135,88 @@ std::uint64_t PolyItPir::decode(const std::vector<Bytes>& answers,
     if (ys[h] >= field_.modulus()) throw ProtocolError("PolyItPir: answer out of field");
   }
   return field::interpolate_at(field_, xs, ys, field_.zero());
+}
+
+std::uint64_t PolyItPir::decode_with_errors(const std::vector<Bytes>& answers,
+                                            const ClientState& state,
+                                            std::size_t max_errors) const {
+  if (answers.size() != k_ || state.query_points.size() != k_) {
+    throw InvalidArgument("PolyItPir: need one answer per server");
+  }
+  std::vector<std::uint64_t> xs(k_), ys(k_);
+  for (std::size_t h = 0; h < k_; ++h) {
+    Reader r(answers[h]);
+    xs[h] = state.query_points[h];
+    ys[h] = r.u64();
+    r.expect_done();
+    if (ys[h] >= field_.modulus()) throw ProtocolError("PolyItPir: answer out of field");
+  }
+  const auto result =
+      field::berlekamp_welch(field_, xs, ys, l_ * t_, max_errors, field_.zero());
+  if (!result.has_value()) {
+    throw ProtocolError("PolyItPir: more corrupted answers than the error budget");
+  }
+  return *result;
+}
+
+std::uint64_t PolyItPir::run(net::StarNetwork& net, std::span<const std::uint64_t> database,
+                             std::size_t index,
+                             const std::optional<crypto::Prg::Seed>& spir_seed,
+                             crypto::Prg& prg) const {
+  if (net.num_servers() != k_) throw InvalidArgument("PolyItPir: network has wrong server count");
+  ClientState state;
+  const auto queries = make_queries(index, state, prg);
+  for (std::size_t h = 0; h < k_; ++h) net.client_send(h, queries[h]);
+  const crypto::Prg::Seed* seed = spir_seed ? &*spir_seed : nullptr;
+  for (std::size_t h = 0; h < k_; ++h) {
+    net.server_send(h, answer(h, database, net.server_receive(h), seed));
+  }
+  std::vector<Bytes> answers;
+  answers.reserve(k_);
+  for (std::size_t h = 0; h < k_; ++h) answers.push_back(net.client_receive(h));
+  return decode(answers, state);
+}
+
+net::RobustResult PolyItPir::run_robust(net::StarNetwork& net,
+                                        std::span<const std::uint64_t> database,
+                                        std::size_t index,
+                                        const std::optional<crypto::Prg::Seed>& spir_seed,
+                                        crypto::Prg& prg, const net::RobustConfig& cfg) const {
+  if (net.num_servers() != k_) throw InvalidArgument("PolyItPir: network has wrong server count");
+  auto [value, report] = net::run_robust_star(
+      field_, net, l_ * t_, cfg,
+      [&](std::size_t /*attempt*/, std::vector<std::uint64_t>& abscissae) {
+        // Fresh curve randomness from `prg` on every attempt: query points
+        // are never reused, so retries leak nothing about the index.
+        ClientState state;
+        auto queries = make_queries(index, state, prg);
+        abscissae = std::move(state.query_points);
+        return queries;
+      },
+      [&](std::size_t s, std::size_t attempt, Bytes query) {
+        // All servers of one attempt must share the mask seed; retries use a
+        // fresh one so masks are never reused across query curves.
+        crypto::Prg::Seed derived;
+        const crypto::Prg::Seed* seed = nullptr;
+        if (spir_seed.has_value()) {
+          if (attempt == 0) {
+            seed = &*spir_seed;
+          } else {
+            derived = crypto::Prg(*spir_seed).fork_seed("robust-retry-" +
+                                                        std::to_string(attempt));
+            seed = &derived;
+          }
+        }
+        return answer(s, database, query, seed);
+      },
+      [&](const Bytes& ans) {
+        Reader r(ans);
+        const std::uint64_t y = r.u64();
+        r.expect_done();
+        if (y >= field_.modulus()) throw ProtocolError("PolyItPir: answer out of field");
+        return y;
+      });
+  return net::RobustResult{value, std::move(report)};
 }
 
 TwoServerXorPir::TwoServerXorPir(std::size_t n, std::size_t item_bytes)

@@ -22,11 +22,14 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/bytes.h"
 #include "crypto/prg.h"
 #include "field/fp64.h"
+#include "net/network.h"
+#include "net/robust.h"
 
 namespace spfe::pir {
 
@@ -60,6 +63,25 @@ class PolyItPir {
 
   // Client: interpolates the k answers at 0.
   std::uint64_t decode(const std::vector<Bytes>& answers, const ClientState& state) const;
+
+  // Fault-tolerant decode: recovers the item even if up to `max_errors`
+  // answers are wrong, provided k >= l*t + 1 + 2*max_errors. Throws
+  // ProtocolError when the answers are beyond that budget.
+  std::uint64_t decode_with_errors(const std::vector<Bytes>& answers, const ClientState& state,
+                                   std::size_t max_errors) const;
+
+  // Full exchange over a k-server network (client drives all roles).
+  std::uint64_t run(net::StarNetwork& net, std::span<const std::uint64_t> database,
+                    std::size_t index, const std::optional<crypto::Prg::Seed>& spir_seed,
+                    crypto::Prg& prg) const;
+
+  // Fault-tolerant exchange: tolerates crashed/Byzantine servers up to the
+  // provisioned redundancy (see net/robust.h), retrying with fresh
+  // randomness before throwing net::RobustProtocolError.
+  net::RobustResult run_robust(net::StarNetwork& net, std::span<const std::uint64_t> database,
+                               std::size_t index,
+                               const std::optional<crypto::Prg::Seed>& spir_seed,
+                               crypto::Prg& prg, const net::RobustConfig& cfg = {}) const;
 
   // Upstream bytes per server for one query (for analytic cross-checks).
   std::size_t query_bytes() const { return l_ * 8; }

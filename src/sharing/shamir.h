@@ -8,11 +8,13 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "common/error.h"
 #include "field/field.h"
 #include "field/polynomial.h"
+#include "field/reed_solomon.h"
 
 namespace spfe::sharing {
 
@@ -53,6 +55,31 @@ typename F::value_type shamir_reconstruct(const F& field,
     ys.push_back(s.y);
   }
   return field::interpolate_at(field, xs, ys, field.zero());
+}
+
+// Reconstructs from shares of which some may be corrupted: with s shares of
+// a threshold-t sharing, up to floor((s - t - 1) / 2) wrong share values are
+// corrected via Berlekamp–Welch. Crashed parties are handled by simply
+// omitting their shares (an erasure costs one share, a lie costs two).
+// Throws ProtocolError when the shares are beyond that budget.
+template <field::FieldLike F>
+typename F::value_type shamir_reconstruct_robust(const F& field,
+                                                 const std::vector<ShamirShare<F>>& shares,
+                                                 std::size_t t) {
+  std::vector<typename F::value_type> xs, ys;
+  xs.reserve(shares.size());
+  ys.reserve(shares.size());
+  for (const auto& s : shares) {
+    xs.push_back(s.x);
+    ys.push_back(s.y);
+  }
+  const auto decoding = field::decode_with_erasures(field, xs, ys, t);
+  if (!decoding.has_value()) {
+    throw ProtocolError("shamir_reconstruct_robust: shares are not within the correctable budget (" +
+                        std::to_string(shares.size()) + " shares, threshold " + std::to_string(t) +
+                        ")");
+  }
+  return decoding->eval(field, field.zero());
 }
 
 }  // namespace spfe::sharing

@@ -146,6 +146,56 @@ std::uint64_t run_star(const Protocol& proto, net::StarNetwork& net,
   return proto.decode(answers, state);
 }
 
+// Robust exchange shared by both variants; `degree` is the answer
+// polynomial's degree deg(P)*t (also the SPIR mask degree).
+template <typename Protocol>
+net::RobustResult run_robust_protocol(const Protocol& proto, const field::Fp64& field,
+                                      std::size_t degree, net::StarNetwork& net,
+                                      std::span<const std::uint64_t> database,
+                                      const std::vector<std::size_t>& indices,
+                                      const std::optional<crypto::Prg::Seed>& spir_seed,
+                                      crypto::Prg& prg, const net::RobustConfig& cfg) {
+  if (net.num_servers() != proto.num_servers()) {
+    throw InvalidArgument("multi-server SPFE: network has wrong server count");
+  }
+  auto [value, report] = net::run_robust_star(
+      field, net, degree, cfg,
+      [&](std::size_t /*attempt*/, std::vector<std::uint64_t>& abscissae) {
+        // Fresh curve from `prg` every attempt: query points are never
+        // reused, so retries leak nothing about the selected indices.
+        typename Protocol::ClientState state;
+        auto queries = proto.make_queries(indices, state, prg);
+        abscissae = std::move(state.abscissae);
+        return queries;
+      },
+      [&](std::size_t s, std::size_t attempt, Bytes query) {
+        // All servers of one attempt must share the mask seed; retries use a
+        // fresh one so masks are never reused across query curves.
+        crypto::Prg::Seed derived;
+        const crypto::Prg::Seed* seed = nullptr;
+        if (spir_seed.has_value()) {
+          if (attempt == 0) {
+            seed = &*spir_seed;
+          } else {
+            derived = crypto::Prg(*spir_seed).fork_seed("robust-retry-" +
+                                                        std::to_string(attempt));
+            seed = &derived;
+          }
+        }
+        return proto.answer(s, database, query, seed);
+      },
+      [&](const Bytes& ans) {
+        Reader r(ans);
+        const std::uint64_t y = r.u64();
+        r.expect_done();
+        if (y >= field.modulus()) {
+          throw ProtocolError("multi-server SPFE: answer out of field");
+        }
+        return y;
+      });
+  return net::RobustResult{value, std::move(report)};
+}
+
 }  // namespace
 
 MultiServerFormulaSpfe::MultiServerFormulaSpfe(field::Fp64 field, circuits::Formula formula,
@@ -226,6 +276,14 @@ std::uint64_t MultiServerFormulaSpfe::run(net::StarNetwork& net,
   return run_star(*this, net, database, indices, spir_seed, prg);
 }
 
+net::RobustResult MultiServerFormulaSpfe::run_robust(
+    net::StarNetwork& net, std::span<const std::uint64_t> database,
+    const std::vector<std::size_t>& indices, const std::optional<crypto::Prg::Seed>& spir_seed,
+    crypto::Prg& prg, const net::RobustConfig& cfg) const {
+  return run_robust_protocol(*this, field_, degree_ * t_, net, database, indices, spir_seed, prg,
+                             cfg);
+}
+
 MultiServerSumSpfe::MultiServerSumSpfe(field::Fp64 field, std::size_t n, std::size_t m,
                                        std::size_t num_servers, std::size_t threshold)
     : field_(field), n_(n), m_(m), k_(num_servers), t_(threshold), l_(index_bits_for(n)) {
@@ -282,6 +340,15 @@ std::uint64_t MultiServerSumSpfe::run(net::StarNetwork& net,
                                       const std::optional<crypto::Prg::Seed>& spir_seed,
                                       crypto::Prg& prg) const {
   return run_star(*this, net, database, indices, spir_seed, prg);
+}
+
+net::RobustResult MultiServerSumSpfe::run_robust(net::StarNetwork& net,
+                                                 std::span<const std::uint64_t> database,
+                                                 const std::vector<std::size_t>& indices,
+                                                 const std::optional<crypto::Prg::Seed>& spir_seed,
+                                                 crypto::Prg& prg,
+                                                 const net::RobustConfig& cfg) const {
+  return run_robust_protocol(*this, field_, l_ * t_, net, database, indices, spir_seed, prg, cfg);
 }
 
 }  // namespace spfe::protocols

@@ -33,6 +33,7 @@
 #include "crypto/prg.h"
 #include "field/fp64.h"
 #include "net/network.h"
+#include "net/robust.h"
 
 namespace spfe::protocols {
 
@@ -78,6 +79,15 @@ class MultiServerFormulaSpfe {
                     const std::vector<std::size_t>& indices,
                     const std::optional<crypto::Prg::Seed>& spir_seed, crypto::Prg& prg) const;
 
+  // Fault-tolerant exchange: with k >= deg(P)*t + 1 + 2e + c servers the
+  // client survives any mix of <= e Byzantine and <= c crashed servers,
+  // retrying with fresh randomness before throwing net::RobustProtocolError
+  // (see net/robust.h).
+  net::RobustResult run_robust(net::StarNetwork& net, std::span<const std::uint64_t> database,
+                               const std::vector<std::size_t>& indices,
+                               const std::optional<crypto::Prg::Seed>& spir_seed,
+                               crypto::Prg& prg, const net::RobustConfig& cfg = {}) const;
+
  private:
   std::vector<std::uint64_t> encode_indices(const std::vector<std::size_t>& indices) const;
 
@@ -117,6 +127,12 @@ class MultiServerSumSpfe {
   std::uint64_t run(net::StarNetwork& net, std::span<const std::uint64_t> database,
                     const std::vector<std::size_t>& indices,
                     const std::optional<crypto::Prg::Seed>& spir_seed, crypto::Prg& prg) const;
+
+  // See MultiServerFormulaSpfe::run_robust.
+  net::RobustResult run_robust(net::StarNetwork& net, std::span<const std::uint64_t> database,
+                               const std::vector<std::size_t>& indices,
+                               const std::optional<crypto::Prg::Seed>& spir_seed,
+                               crypto::Prg& prg, const net::RobustConfig& cfg = {}) const;
 
  private:
   field::Fp64 field_;

@@ -51,12 +51,14 @@ TEST_F(IntegrationTest, SumAgreesAcrossFourProtocolFamilies) {
     const protocols::MultiServerSumSpfe proto(f, kN, kM, k, 1);
     net::StarNetwork net(k);
     results.push_back(proto.run(net, db, indices, std::nullopt, client_prg_));
+    EXPECT_TRUE(net.idle());
   }
   {  // (2) §3.2 with sum PSM (modulus well above the sum)
     const protocols::PsmSumSpfeSingleServer proto(client_sk_.public_key(), kN, kM,
                                                   kM * kCap + 1, 2);
     net::StarNetwork net(1);
     results.push_back(proto.run(net, db, indices, client_sk_, client_prg_, server_prg_));
+    EXPECT_TRUE(net.idle());
   }
   {  // (3) two-phase arithmetic
     const std::uint64_t p = field::smallest_prime_above(kM * kCap + kN);
@@ -65,6 +67,7 @@ TEST_F(IntegrationTest, SumAgreesAcrossFourProtocolFamilies) {
     results.push_back(protocols::run_two_phase_arith(
         net, 0, db, indices, circuit, protocols::SelectionMethod::kPolyMaskClientKey,
         client_sk_, server_sk_, 2, client_prg_, server_prg_)[0]);
+    EXPECT_TRUE(net.idle());
   }
   {  // (4) §4 weighted sum with unit weights
     const Fp64 f(field::smallest_prime_above(kM * kCap + kN));
@@ -72,6 +75,7 @@ TEST_F(IntegrationTest, SumAgreesAcrossFourProtocolFamilies) {
     net::StarNetwork net(1);
     results.push_back(proto.run(net, 0, db, indices, std::vector<std::uint64_t>(kM, 1),
                                 client_sk_, client_prg_, server_prg_));
+    EXPECT_TRUE(net.idle());
   }
 
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -117,6 +121,7 @@ TEST_F(IntegrationTest, KeywordMatchAgreesAcrossThreeProtocolFamilies) {
       for (std::size_t b = 0; b < kBits; ++b) bit_indices.push_back(idx * kBits + b);
       net::StarNetwork net(k);
       results.push_back(proto.run(net, bit_db, bit_indices, std::nullopt, client_prg_) != 0);
+      EXPECT_TRUE(net.idle());
     }
     {  // (2) BP-PSM
       const protocols::PsmBpSpfeSingleServer proto(
@@ -124,6 +129,7 @@ TEST_F(IntegrationTest, KeywordMatchAgreesAcrossThreeProtocolFamilies) {
           kN, 2);
       net::StarNetwork net(1);
       results.push_back(proto.run(net, db, {idx}, client_sk_, client_prg_, server_prg_));
+      EXPECT_TRUE(net.idle());
     }
     {  // (3) two-phase Yao with the keyword as a private parameter
       const auto body = [](circuits::BooleanCircuit& c,
@@ -137,6 +143,7 @@ TEST_F(IntegrationTest, KeywordMatchAgreesAcrossThreeProtocolFamilies) {
           net, 0, db, {idx}, kBits, protocols::SelectionMethod::kPerItem, kKeyword, kBits,
           body, client_sk_, server_sk_, group, 1, client_prg_, server_prg_);
       results.push_back(out[0]);
+      EXPECT_TRUE(net.idle());
     }
 
     for (std::size_t p = 0; p < results.size(); ++p) {
@@ -163,6 +170,7 @@ TEST_F(IntegrationTest, CensusPipelineMultipleStatisticsOneDatabase) {
   const protocols::MeanVariancePackage pkg(f1, salaries.size(), kM, 1);
   net::StarNetwork net1(1);
   const auto mv = pkg.run(net1, 0, salaries, cohort, client_sk_, client_prg_, server_prg_);
+  EXPECT_TRUE(net1.idle());
 
   // Statistic 2: sum via multi-server (must equal mean * m).
   const Fp64 f61(Fp64::kMersenne61);
@@ -170,6 +178,7 @@ TEST_F(IntegrationTest, CensusPipelineMultipleStatisticsOneDatabase) {
   const protocols::MultiServerSumSpfe ms(f61, salaries.size(), kM, k, 1);
   net::StarNetwork net2(k);
   const std::uint64_t sum = ms.run(net2, salaries, cohort, std::nullopt, client_prg_);
+  EXPECT_TRUE(net2.idle());
   EXPECT_EQ(sum, mv.sum);
 
   // Statistic 3: frequency of the cohort's own first bracket among brackets.
@@ -185,6 +194,7 @@ TEST_F(IntegrationTest, CensusPipelineMultipleStatisticsOneDatabase) {
   std::size_t expect_count = 0;
   for (const std::size_t i : cohort) expect_count += brackets[i] == target ? 1 : 0;
   EXPECT_EQ(count, expect_count);
+  EXPECT_TRUE(net3.idle());
   EXPECT_GE(count, 1u);  // the cohort's own record matches itself
 }
 

@@ -4,7 +4,9 @@
 
 #include "bignum/serialize.h"
 #include "common/error.h"
+#include "common/serialize.h"
 #include "he/paillier.h"
+#include "net/fault.h"
 #include "pir/batch_pir.h"
 #include "pir/cpir.h"
 #include "pir/itpir.h"
@@ -373,6 +375,74 @@ TEST_F(CuckooBatchPirTest, Validation) {
   CuckooBatchPir::ClientState state;
   EXPECT_THROW(pir.make_query({1, 2}, state, prg_), InvalidArgument);
   EXPECT_THROW(pir.make_query({1, 2, 50}, state, prg_), InvalidArgument);
+}
+
+// ---- Robust itPIR -----------------------------------------------------------
+
+TEST(PolyItPirRobust, DecodeWithErrorsCorrectsLyingServers) {
+  const Fp64 f(Fp64::kMersenne61);
+  constexpr std::size_t kErrors = 2;
+  const std::size_t k = PolyItPir::min_servers(64, 1) + 2 * kErrors;
+  const PolyItPir pir(f, 64, k, 1);
+  const auto db = make_db(64, Fp64::kMersenne61);
+  crypto::Prg prg("itpir-robust");
+  PolyItPir::ClientState state;
+  const auto queries = pir.make_queries(17, state, prg);
+  std::vector<Bytes> answers;
+  for (std::size_t h = 0; h < k; ++h) answers.push_back(pir.answer(h, db, queries[h], nullptr));
+  {
+    Writer w1, w2;
+    w1.u64(424242);
+    w2.u64(171717);
+    answers[0] = w1.take();
+    answers[5] = w2.take();
+  }
+  EXPECT_NE(pir.decode(answers, state), db[17]);
+  EXPECT_EQ(pir.decode_with_errors(answers, state, kErrors), db[17]);
+  // Three lies with a budget of two: typed error, never a wrong value.
+  Writer w3;
+  w3.u64(999999);
+  answers[2] = w3.take();
+  EXPECT_THROW(pir.decode_with_errors(answers, state, kErrors), ProtocolError);
+}
+
+TEST(PolyItPirRobust, RunOverStarNetwork) {
+  const Fp64 f(Fp64::kMersenne61);
+  const PolyItPir pir(f, 64, 7, 1);
+  const auto db = make_db(64, Fp64::kMersenne61);
+  crypto::Prg prg("itpir-run");
+  net::StarNetwork net(7);
+  const auto seed = prg.fork_seed("spir");
+  EXPECT_EQ(pir.run(net, db, 29, seed, prg), db[29]);
+  EXPECT_TRUE(net.idle());
+  EXPECT_EQ(net.stats().client_to_server_messages, 7u);
+  EXPECT_EQ(net.stats().server_to_client_messages, 7u);
+  EXPECT_EQ(net.stats().rounds(), 1.0);
+  net::StarNetwork wrong(5);
+  EXPECT_THROW(pir.run(wrong, db, 29, seed, prg), InvalidArgument);
+}
+
+TEST(PolyItPirRobust, RunRobustSurvivesCrashAndLie) {
+  const Fp64 f(Fp64::kMersenne61);
+  // e = 1, c = 1: k = l*t + 1 + 2 + 1 = 10 for n = 64, t = 1.
+  const std::size_t k = PolyItPir::min_servers(64, 1) + 3;
+  const PolyItPir pir(f, 64, k, 1);
+  const auto db = make_db(64, Fp64::kMersenne61);
+  net::FaultPlan plan;
+  plan.crash_after(2, 0);  // server 2 dead on arrival
+  plan.add(net::Direction::kServerToClient, 6, 0,
+           net::Fault{net::FaultKind::kCorruptByte, 1, 0x40, 0});  // server 6 lies
+  net::FaultyStarNetwork net(k, plan);
+  crypto::Prg prg("itpir-run-robust");
+  const auto seed = prg.fork_seed("spir");
+  const net::RobustResult res = pir.run_robust(net, db, 29, seed, prg);
+  EXPECT_EQ(res.value, db[29]);
+  EXPECT_TRUE(res.report.success);
+  EXPECT_EQ(res.report.verdicts[2].fate, net::ServerFate::kUnavailable);
+  EXPECT_EQ(res.report.verdicts[6].fate, net::ServerFate::kCorrected);
+  EXPECT_EQ(res.report.erasures, 1u);
+  EXPECT_EQ(res.report.errors_corrected, 1u);
+  EXPECT_TRUE(net.idle());
 }
 
 }  // namespace

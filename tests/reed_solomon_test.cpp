@@ -103,6 +103,138 @@ TEST(BerlekampWelch, InsufficientPointsThrow) {
   EXPECT_THROW(berlekamp_welch(f, xs, ys, 2, 1, f.zero()), InvalidArgument);
 }
 
+// --- edge cases around the exact correction bound ---------------------------
+
+TEST(LinearSolver, InconsistentOverdeterminedSystem) {
+  const Fp64 f(101);
+  // Three equations in two unknowns with no common solution: the eliminated
+  // zero row has a nonzero rhs, exercising the std::nullopt path.
+  const auto sol = solve_linear_system(f, {{1, 0}, {0, 1}, {1, 1}},
+                                       std::vector<std::uint64_t>{1, 2, 50});
+  EXPECT_FALSE(sol.has_value());
+}
+
+TEST(BerlekampWelch, ZeroBudgetDetectsInconsistentPoints) {
+  // max_errors = 0 must not blindly interpolate: a corrupted point set has
+  // to come back nullopt, not a garbage value.
+  const Fp64 f(Fp64::kMersenne61);
+  crypto::Prg prg("bw-zero");
+  const std::size_t d = 3;
+  const auto poly = Polynomial<Fp64>::random(f, d, prg);
+  std::vector<std::uint64_t> xs, ys;
+  for (std::uint64_t x = 1; x <= d + 2; ++x) {
+    xs.push_back(x);
+    ys.push_back(poly.eval(x));
+  }
+  EXPECT_EQ(berlekamp_welch(f, xs, ys, d, 0, f.zero()), poly.eval(0));
+  ys[2] = f.add(ys[2], 99);
+  EXPECT_FALSE(berlekamp_welch(f, xs, ys, d, 0, f.zero()).has_value());
+}
+
+TEST(BerlekampWelch, ExactBoundOneBeyondFails) {
+  // k = d + 1 + 2e points: e corruptions decode, e+1 must not decode to a
+  // wrong value (nullopt, or — vanishingly unlikely — the honest value).
+  const Fp64 f(Fp64::kMersenne61);
+  crypto::Prg prg("bw-bound");
+  const std::size_t d = 4, e = 2;
+  const auto poly = Polynomial<Fp64>::random(f, d, prg);
+  const std::size_t k = d + 1 + 2 * e;
+  std::vector<std::uint64_t> xs(k), ys(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    xs[i] = i + 1;
+    ys[i] = poly.eval(xs[i]);
+  }
+  for (std::size_t c = 0; c < e; ++c) ys[c] = f.add(ys[c], 7 + c);
+  EXPECT_EQ(berlekamp_welch(f, xs, ys, d, e, f.zero()), poly.eval(0));
+  ys[e] = f.add(ys[e], 31);  // one corruption too many
+  const auto got = berlekamp_welch(f, xs, ys, d, e, f.zero());
+  if (got.has_value()) EXPECT_EQ(*got, poly.eval(0));
+}
+
+TEST(BerlekampWelchDecode, ReportsErrorPositions) {
+  const Fp64 f(Fp64::kMersenne61);
+  crypto::Prg prg("bw-positions");
+  const std::size_t d = 3, e = 2;
+  const auto poly = Polynomial<Fp64>::random(f, d, prg);
+  const std::size_t k = d + 1 + 2 * e;
+  std::vector<std::uint64_t> xs(k), ys(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    xs[i] = i + 1;
+    ys[i] = poly.eval(xs[i]);
+  }
+  ys[1] = f.add(ys[1], 5);
+  ys[6] = f.add(ys[6], 9);
+  const auto dec = berlekamp_welch_decode(f, xs, ys, d, e);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->num_errors(), 2u);
+  EXPECT_FALSE(dec->agrees[1]);
+  EXPECT_FALSE(dec->agrees[6]);
+  for (const std::size_t i : {0u, 2u, 3u, 4u, 5u, 7u}) EXPECT_TRUE(dec->agrees[i]) << i;
+  EXPECT_EQ(dec->eval(f, f.zero()), poly.eval(0));
+  EXPECT_EQ(dec->eval(f, xs[1]), poly.eval(xs[1]));  // corrected point
+}
+
+TEST(DecodeWithErasures, ErasureAndErrorMixes) {
+  // Provision k = d + 1 + 2e + c, then erase c points and corrupt e of the
+  // survivors: every mix within the unit budget must decode exactly.
+  const Fp64 f(Fp64::kMersenne61);
+  crypto::Prg prg("erasure-mix");
+  const std::size_t d = 4;
+  for (std::size_t e = 0; e <= 2; ++e) {
+    for (std::size_t c = 0; c <= 3; ++c) {
+      const std::size_t k = d + 1 + 2 * e + c;
+      const auto poly = Polynomial<Fp64>::random(f, d, prg);
+      // Erase the first c points (survivors are the rest), corrupt e.
+      std::vector<std::uint64_t> xs, ys;
+      for (std::size_t i = c; i < k; ++i) {
+        xs.push_back(i + 1);
+        ys.push_back(poly.eval(i + 1));
+      }
+      for (std::size_t j = 0; j < e; ++j) ys[2 * j] = f.add(ys[2 * j], 11 + j);
+      const auto dec = decode_with_erasures(f, xs, ys, d);
+      ASSERT_TRUE(dec.has_value()) << "e=" << e << " c=" << c;
+      EXPECT_EQ(dec->eval(f, f.zero()), poly.eval(0)) << "e=" << e << " c=" << c;
+      EXPECT_EQ(dec->num_errors(), e) << "e=" << e << " c=" << c;
+    }
+  }
+}
+
+TEST(DecodeWithErasures, ExactMinimumSurvivors) {
+  // s = d + 1 survivors, zero error slack: decodes iff all are honest.
+  const Fp64 f(Fp64::kMersenne61);
+  crypto::Prg prg("erasure-min");
+  const std::size_t d = 5;
+  const auto poly = Polynomial<Fp64>::random(f, d, prg);
+  std::vector<std::uint64_t> xs, ys;
+  for (std::size_t i = 0; i < d + 1; ++i) {
+    xs.push_back(i + 3);
+    ys.push_back(poly.eval(i + 3));
+  }
+  const auto dec = decode_with_erasures(f, xs, ys, d);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->eval(f, f.zero()), poly.eval(0));
+  // One survivor fewer: information-theoretically impossible.
+  xs.pop_back();
+  ys.pop_back();
+  EXPECT_FALSE(decode_with_erasures(f, xs, ys, d).has_value());
+}
+
+TEST(DecodeWithErasures, BeyondBudgetReturnsNullopt) {
+  // s = d + 2 survivors (error capacity 0) with one silent lie: the single
+  // point of slack exposes the inconsistency.
+  const Fp64 f(Fp64::kMersenne61);
+  crypto::Prg prg("erasure-beyond");
+  const std::size_t d = 3;
+  const auto poly = Polynomial<Fp64>::random(f, d, prg);
+  std::vector<std::uint64_t> xs, ys;
+  for (std::size_t i = 0; i < d + 2; ++i) {
+    xs.push_back(i + 1);
+    ys.push_back(poly.eval(i + 1));
+  }
+  ys[0] = f.add(ys[0], 1);
+  EXPECT_FALSE(decode_with_erasures(f, xs, ys, d).has_value());
+}
+
 // --- end-to-end: §3.1 with malicious servers --------------------------------
 
 TEST(MultiServerFaultTolerance, SumSurvivesCorruptAnswers) {

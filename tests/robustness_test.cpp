@@ -17,6 +17,7 @@
 #include "pir/batch_pir.h"
 #include "pir/cpir.h"
 #include "pir/itpir.h"
+#include "spfe/multiserver.h"
 
 namespace spfe {
 namespace {
@@ -181,6 +182,117 @@ TEST(Robustness, TwoServerXorPirRejectsBadQuerySizes) {
   pir::TwoServerXorPir::ClientState state;
   const auto [q0, q1] = pir.make_queries(3, state, prg);
   fuzz_message(q0, [&](const Bytes& q) { (void)pir.answer(db, q); }, "xor-query");
+}
+
+// --- systematic single-bit-flip sweep ---------------------------------------
+//
+// Complements fuzz_message's random mutations: every byte position of the
+// serialized message gets exactly one (seeded) bit flipped. The parser must
+// either throw spfe::Error or complete; a handler that can verify the final
+// result additionally asserts the flip never yields a silently wrong value.
+
+void bit_flip_sweep(const Bytes& valid, const std::function<void(const Bytes&)>& handler,
+                    const std::string& what) {
+  ASSERT_FALSE(valid.empty()) << what;
+  crypto::Prg prg("bitflip-" + what);
+  for (std::size_t i = 0; i < valid.size(); ++i) {
+    Bytes mutated = valid;
+    mutated[i] ^= static_cast<std::uint8_t>(1u << prg.uniform(8));
+    try {
+      handler(mutated);
+    } catch (const Error&) {
+      // Typed rejection is the expected failure mode.
+    } catch (const std::exception& e) {
+      FAIL() << what << " byte " << i << ": foreign exception: " << e.what();
+    }
+  }
+}
+
+TEST(BitFlipSweep, ItPirQueryEveryByte) {
+  const field::Fp64 f(field::Fp64::kMersenne61);
+  const pir::PolyItPir pir(f, 64, 7, 1);
+  std::vector<std::uint64_t> db(64, 5);
+  crypto::Prg prg("bf1");
+  pir::PolyItPir::ClientState state;
+  const Bytes valid = pir.make_queries(3, state, prg)[0];
+  bit_flip_sweep(valid, [&](const Bytes& q) { (void)pir.answer(0, db, q, nullptr); },
+                 "itpir-query");
+}
+
+TEST(BitFlipSweep, ItPirAnswerEveryByteNeverDecodesWrong) {
+  // Provisioned with e = 1 redundancy (k = l*t + 3), the robust decode must
+  // turn every single-bit answer corruption into either a typed error or the
+  // exact honest item — never a silently wrong value.
+  const field::Fp64 f(field::Fp64::kMersenne61);
+  const pir::PolyItPir pir(f, 64, 9, 1);
+  std::vector<std::uint64_t> db(64);
+  for (std::size_t i = 0; i < db.size(); ++i) db[i] = 1000 + i;
+  crypto::Prg prg("bf2");
+  pir::PolyItPir::ClientState state;
+  const auto queries = pir.make_queries(3, state, prg);
+  std::vector<Bytes> answers;
+  for (std::size_t h = 0; h < 9; ++h) answers.push_back(pir.answer(h, db, queries[h], nullptr));
+  bit_flip_sweep(answers[4],
+                 [&](const Bytes& a) {
+                   std::vector<Bytes> mutated = answers;
+                   mutated[4] = a;
+                   EXPECT_EQ(pir.decode_with_errors(mutated, state, 1), db[3]);
+                 },
+                 "itpir-answer-robust");
+}
+
+TEST(BitFlipSweep, MultiServerSpfeQueryAndAnswerEveryByte) {
+  const field::Fp64 f(field::Fp64::kMersenne61);
+  const std::size_t k = protocols::MultiServerSumSpfe::min_servers(64, 1) + 2;
+  const protocols::MultiServerSumSpfe proto(f, 64, 2, k, 1);
+  std::vector<std::uint64_t> db(64, 3);
+  crypto::Prg prg("bf3");
+  protocols::MultiServerSumSpfe::ClientState state;
+  const auto queries = proto.make_queries({1, 9}, state, prg);
+  bit_flip_sweep(queries[0], [&](const Bytes& q) { (void)proto.answer(0, db, q, nullptr); },
+                 "spfe-query");
+  std::vector<Bytes> answers;
+  for (std::size_t h = 0; h < k; ++h) answers.push_back(proto.answer(h, db, queries[h], nullptr));
+  bit_flip_sweep(answers[2],
+                 [&](const Bytes& a) {
+                   std::vector<Bytes> mutated = answers;
+                   mutated[2] = a;
+                   // e = 1 slack: corrected exactly or rejected, never wrong.
+                   EXPECT_EQ(proto.decode_with_errors(mutated, state, 1), 6u);
+                 },
+                 "spfe-answer-robust");
+}
+
+TEST(BitFlipSweep, TwoServerXorPirQueryAndAnswerEveryByte) {
+  const pir::TwoServerXorPir pir(16, 4);
+  std::vector<Bytes> db(16, Bytes(4, 7));
+  crypto::Prg prg("bf4");
+  pir::TwoServerXorPir::ClientState state;
+  const auto [q0, q1] = pir.make_queries(3, state, prg);
+  bit_flip_sweep(q0, [&](const Bytes& q) { (void)pir.answer(db, q); }, "xor-query");
+  const Bytes a0 = pir.answer(db, q0);
+  const Bytes a1 = pir.answer(db, q1);
+  bit_flip_sweep(a0, [&](const Bytes& a) { (void)pir.decode(a, a1, state); }, "xor-answer");
+}
+
+TEST(BitFlipSweep, BaseOtMessagesEveryByte) {
+  const ot::BaseOt ot(ot::SchnorrGroup::rfc_like_512());
+  crypto::Prg prg("bf5");
+  std::vector<ot::OtReceiverState> states;
+  const Bytes query = ot.make_query({true}, states, prg);
+  std::vector<std::pair<Bytes, Bytes>> msgs = {{Bytes(8, 1), Bytes(8, 2)}};
+  bit_flip_sweep(query, [&](const Bytes& q) { (void)ot.answer(q, msgs, prg); }, "ot-query");
+  const Bytes answer = ot.answer(query, msgs, prg);
+  bit_flip_sweep(answer, [&](const Bytes& a) { (void)ot.decode(a, states); }, "ot-answer");
+}
+
+TEST(BitFlipSweep, GarbledCircuitBytesEveryByte) {
+  circuits::BooleanCircuit c(2);
+  c.add_output(c.and_gate(0, 1));
+  crypto::Prg prg("bf6");
+  const Bytes valid = mpc::garble(c, prg).garbled.serialize();
+  bit_flip_sweep(valid, [&](const Bytes& b) { (void)mpc::GarbledCircuit::deserialize(b); },
+                 "gc-bytes");
 }
 
 }  // namespace

@@ -103,6 +103,48 @@ TEST(Shamir, RejectsThresholdGeqShares) {
   EXPECT_THROW(shamir_split(f, std::uint64_t(5), 3, 3, prg), InvalidArgument);
 }
 
+TEST(Shamir, RobustReconstructCorrectsLies) {
+  const Fp64 f(Fp64::kMersenne61);
+  crypto::Prg prg("shamir-robust");
+  for (std::size_t t : {1u, 2u}) {
+    for (std::size_t e = 1; e <= 2; ++e) {
+      const std::size_t k = t + 1 + 2 * e;
+      const std::uint64_t secret = f.random(prg);
+      auto shares = shamir_split(f, secret, k, t, prg);
+      for (std::size_t j = 0; j < e; ++j) shares[j].y = f.add(shares[j].y, 17 + j);
+      EXPECT_EQ(shamir_reconstruct_robust(f, shares, t), secret) << "t=" << t << " e=" << e;
+    }
+  }
+}
+
+TEST(Shamir, RobustReconstructHandlesErasuresAndLies) {
+  // k = t + 1 + 2e + c shares; drop c (crashed parties) and corrupt e.
+  const Fp64 f(Fp64::kMersenne61);
+  crypto::Prg prg("shamir-erasures");
+  const std::size_t t = 2, e = 1, c = 2;
+  const std::size_t k = t + 1 + 2 * e + c;
+  const std::uint64_t secret = f.random(prg);
+  auto shares = shamir_split(f, secret, k, t, prg);
+  shares.erase(shares.begin(), shares.begin() + c);  // erasures
+  shares[0].y = f.add(shares[0].y, 5);               // one lie
+  EXPECT_EQ(shamir_reconstruct_robust(f, shares, t), secret);
+}
+
+TEST(Shamir, RobustReconstructThrowsBeyondBudget) {
+  const Fp64 f(Fp64::kMersenne61);
+  crypto::Prg prg("shamir-overload");
+  const std::size_t t = 1;
+  const std::uint64_t secret = f.random(prg);
+  // Too few shares outright.
+  auto shares = shamir_split(f, secret, 5, t, prg);
+  std::vector<ShamirShare<Fp64>> one(shares.begin(), shares.begin() + 1);
+  EXPECT_THROW(shamir_reconstruct_robust(f, one, t), ProtocolError);
+  // Enough shares, but a lie with zero error slack (s = t + 2): detected.
+  std::vector<ShamirShare<Fp64>> three(shares.begin(), shares.begin() + 3);
+  three[1].y = f.add(three[1].y, 9);
+  EXPECT_THROW(shamir_reconstruct_robust(f, three, t), ProtocolError);
+}
+
 TEST(Shamir, WorksOverZp) {
   const Zp f(BigInt(1000003));
   crypto::Prg prg("shamir-zp");
