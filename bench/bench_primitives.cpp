@@ -428,6 +428,51 @@ void BM_OtExtensionPerTransfer(benchmark::State& state) {
 }
 BENCHMARK(BM_OtExtensionPerTransfer)->Arg(1024)->Arg(8192);
 
+// --- observability overhead -------------------------------------------------------
+
+void BM_ObsCountDisabled(benchmark::State& state) {
+  // The per-site cost compiled into every instrumented hot path when tracing
+  // is off: one relaxed atomic load + a predicted branch. Compare against
+  // BM_ModPowMontgomery/512 (~1e5 ns): the ratio is the real-world overhead
+  // bound for the cheapest counted op, and must stay well under 2%.
+  obs::Tracer::global().set_enabled(false);
+  for (auto _ : state) {
+    obs::count(obs::Op::kModExp);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsCountDisabled);
+
+void BM_ObsCountEnabled(benchmark::State& state) {
+  // Enabled-path cost: one relaxed fetch_add. Still orders of magnitude
+  // below any counted crypto op.
+  obs::Tracer::global().set_enabled(true);
+  for (auto _ : state) {
+    obs::count(obs::Op::kModExp);
+    benchmark::ClobberMemory();
+  }
+  obs::Tracer::global().set_enabled(false);
+  obs::Tracer::global().reset();
+}
+BENCHMARK(BM_ObsCountEnabled);
+
+void BM_ModPowMontgomeryTracingEnabled(benchmark::State& state) {
+  // End-to-end overhead check: same workload as BM_ModPowMontgomery/512 but
+  // with tracing on; the delta between the two rows is the enabled-mode cost
+  // on a real counted op (expected: lost in run-to-run noise).
+  crypto::Prg prg("bm-mont");  // same seed: identical operands
+  BigInt mod = BigInt::random_bits(prg, 512);
+  if (!mod.is_odd()) mod += BigInt(1);
+  const bignum::MontgomeryContext ctx(mod);
+  const BigInt base = BigInt::random_below(prg, mod);
+  const BigInt exp = BigInt::random_bits(prg, 512);
+  obs::Tracer::global().set_enabled(true);
+  for (auto _ : state) benchmark::DoNotOptimize(ctx.pow(base, exp));
+  obs::Tracer::global().set_enabled(false);
+  obs::Tracer::global().reset();
+}
+BENCHMARK(BM_ModPowMontgomeryTracingEnabled);
+
 // Console output as usual, plus every run captured into BENCH_primitives.json
 // (op = full benchmark name, size = trailing /arg when present).
 class JsonCapturingReporter : public benchmark::ConsoleReporter {

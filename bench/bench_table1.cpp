@@ -62,7 +62,8 @@ struct Measured {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = spfe::bench::has_flag(argc, argv, "--smoke");
   std::printf("== T1: Table 1 reproduction — single-server SPFE approaches ==\n");
   std::printf("f = |{j : x_ij == %llu}| over m 8-bit items; 512-bit Paillier; PIR depth 2\n\n",
               static_cast<unsigned long long>(kKeyword));
@@ -73,8 +74,17 @@ int main() {
   const he::GmPrivateKey gm_sk = he::gm_keygen(server_prg, 512);
   const ot::SchnorrGroup group = ot::SchnorrGroup::rfc_like_512();
 
-  for (const std::size_t n : {512u, 2048u}) {
-    for (const std::size_t m : {4u, 8u}) {
+  // Reset the tracer AFTER keygen: key generation's modexps run outside any
+  // span, and the summary's consistency check (root-span sums == global
+  // totals) only holds over the protocol runs below.
+  obs::Tracer::global().reset();
+
+  const std::vector<std::size_t> sizes = smoke ? std::vector<std::size_t>{512}
+                                               : std::vector<std::size_t>{512, 2048};
+  const std::vector<std::size_t> widths = smoke ? std::vector<std::size_t>{4}
+                                                : std::vector<std::size_t>{4, 8};
+  for (const std::size_t n : sizes) {
+    for (const std::size_t m : widths) {
       std::vector<std::uint64_t> db(n);
       for (std::size_t i = 0; i < n; ++i) db[i] = (i * 131 + 3) % 256;
       std::vector<std::size_t> indices;
@@ -158,5 +168,11 @@ int main() {
       "Note: round counts and the security column match Table 1 exactly;\n"
       "the complexity column's m^2-vs-m ciphertext split is measured in\n"
       "bench_input_selection (experiment E4).\n");
-  return 0;
+
+  bool obs_ok = true;
+  if (obs::Tracer::global().is_enabled()) {
+    std::printf("\n== per-phase observability summary ==\n");
+    obs_ok = spfe::bench::print_obs_summary();
+  }
+  return obs_ok ? 0 : 1;
 }

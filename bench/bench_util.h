@@ -6,15 +6,19 @@
 // net::StarNetwork, wall time by steady_clock around the in-process run.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/network.h"
+#include "obs/obs.h"
 
 namespace spfe::bench {
 
@@ -38,25 +42,61 @@ class JsonReport {
     rows_.push_back({op, size, ns_per_op, bytes});
   }
 
-  void write() const {
+  // Serializes the report. A NaN/inf ns_per_op (zero-iteration or clock-glitch
+  // rows) is emitted as null — "%.1f" would print "nan"/"inf", which are not
+  // JSON tokens and break every strict consumer downstream.
+  std::string to_json() const {
+    std::string out = "[\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Entry& r = rows_[i];
+      char num[64];
+      if (std::isfinite(r.ns_per_op)) {
+        std::snprintf(num, sizeof num, "%.1f", r.ns_per_op);
+      } else {
+        std::snprintf(num, sizeof num, "null");
+      }
+      out += "  {\"op\": \"";
+      for (const char c : r.op) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+      }
+      out += "\", \"size\": " + std::to_string(r.size) + ", \"ns_per_op\": " + num +
+             ", \"bytes\": " + std::to_string(r.bytes) + "}";
+      if (i + 1 != rows_.size()) out += ',';
+      out += '\n';
+    }
+    out += "]\n";
+    return out;
+  }
+
+  // Writes BENCH_<name>.json atomically (temp file + rename): a crash or a
+  // full disk leaves either the previous report or none, never a truncated
+  // one, and every I/O failure is checked and reported. Returns success.
+  bool write() const {
     const char* dir = std::getenv("SPFE_BENCH_JSON_DIR");
     std::string path = (dir != nullptr && *dir != '\0') ? std::string(dir) + "/" : std::string();
     path += "BENCH_" + name_ + ".json";
-    std::FILE* f = std::fopen(path.c_str(), "w");
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
     if (f == nullptr) {
-      std::fprintf(stderr, "JsonReport: cannot open %s for writing\n", path.c_str());
-      return;
+      std::fprintf(stderr, "JsonReport: cannot open %s for writing\n", tmp.c_str());
+      return false;
     }
-    std::fprintf(f, "[\n");
-    for (std::size_t i = 0; i < rows_.size(); ++i) {
-      const Entry& r = rows_[i];
-      std::fprintf(f, "  {\"op\": \"%s\", \"size\": %llu, \"ns_per_op\": %.1f, \"bytes\": %llu}%s\n",
-                   r.op.c_str(), static_cast<unsigned long long>(r.size), r.ns_per_op,
-                   static_cast<unsigned long long>(r.bytes), i + 1 == rows_.size() ? "" : ",");
+    const std::string json = to_json();
+    const bool write_ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    const bool close_ok = std::fclose(f) == 0;
+    if (!write_ok || !close_ok) {
+      std::fprintf(stderr, "JsonReport: short write to %s\n", tmp.c_str());
+      std::remove(tmp.c_str());
+      return false;
     }
-    std::fprintf(f, "]\n");
-    std::fclose(f);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::fprintf(stderr, "JsonReport: rename %s -> %s failed\n", tmp.c_str(), path.c_str());
+      std::remove(tmp.c_str());
+      return false;
+    }
     std::printf("\n[json] wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+    return true;
   }
 
  private:
@@ -144,6 +184,54 @@ inline std::string rounds_str(const net::CommStats& s) {
   char buf[16];
   std::snprintf(buf, sizeof buf, "%.1f", s.rounds());
   return buf;
+}
+
+// Prints the tracer's per-phase summary (wall time + crypto ops per span
+// name) followed by the span/global counter consistency check: when every
+// counted op ran under some root span, the root-span sums equal the global
+// totals. Returns false when they disagree (an op ran outside all spans).
+inline bool print_obs_summary() {
+  const obs::Tracer& tracer = obs::Tracer::global();
+  const std::vector<obs::SpanSummary> rows = tracer.summary();
+  if (rows.empty()) {
+    std::printf("[obs] no spans recorded\n");
+    return true;
+  }
+  Table table({"phase", "calls", "total ms", "top ops"});
+  for (const obs::SpanSummary& s : rows) {
+    // Show the three largest counters; the trace JSON has the full set.
+    std::vector<std::pair<std::uint64_t, std::size_t>> top;
+    for (std::size_t i = 0; i < obs::kNumOps; ++i) {
+      if (s.ops[i] != 0) top.push_back({s.ops[i], i});
+    }
+    std::sort(top.begin(), top.end(), [](const auto& a, const auto& b) {
+      return a.first != b.first ? a.first > b.first : a.second < b.second;
+    });
+    std::string ops;
+    for (std::size_t i = 0; i < top.size() && i < 3; ++i) {
+      if (!ops.empty()) ops += " ";
+      ops += std::string(obs::op_name(static_cast<obs::Op>(top[i].second))) + "=" +
+             std::to_string(top[i].first);
+    }
+    table.add({s.name, fmt_u(s.calls), fmt("%.2f", static_cast<double>(s.total_ns) / 1e6),
+               ops});
+  }
+  table.print();
+
+  const obs::OpCounts roots = tracer.root_totals();
+  const obs::OpCounts totals = tracer.totals();
+  bool consistent = true;
+  for (std::size_t i = 0; i < obs::kNumOps; ++i) {
+    if (roots[i] != totals[i]) {
+      consistent = false;
+      std::printf("[obs] INCONSISTENT %s: root spans=%llu global=%llu\n",
+                  obs::op_name(static_cast<obs::Op>(i)),
+                  static_cast<unsigned long long>(roots[i]),
+                  static_cast<unsigned long long>(totals[i]));
+    }
+  }
+  if (consistent) std::printf("[obs] span/global op counts consistent\n");
+  return consistent;
 }
 
 }  // namespace spfe::bench

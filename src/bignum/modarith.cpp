@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/secret.h"
+#include "obs/obs.h"
 
 namespace spfe::bignum {
 namespace {
@@ -110,7 +111,9 @@ BigInt mod_pow(const BigInt& base, const BigInt& exp, const BigInt& m) {
   if (exp.is_negative()) throw InvalidArgument("mod_pow: negative exponent");
   if (m.is_one()) return BigInt();
   if (m.is_odd()) return MontgomeryContext(m).pow(base, exp);
-  // Even modulus: plain left-to-right square-and-multiply.
+  // Even modulus: plain left-to-right square-and-multiply. (The odd-modulus
+  // path is counted inside MontgomeryContext::pow.)
+  obs::count(obs::Op::kModExp);
   BigInt result(1);
   BigInt b = base.mod_floor(m);
   for (std::size_t i = exp.bit_length(); i-- > 0;) {
@@ -314,6 +317,7 @@ BigInt MontgomeryContext::from_mont(const std::vector<u64>& a) const {
 // window count may depend on it.
 BigInt MontgomeryContext::pow(const BigInt& base, const BigInt& /*secret*/ exp) const {
   if (exp.is_negative()) throw InvalidArgument("MontgomeryContext::pow: negative exponent");
+  obs::count(obs::Op::kModExp);
   if (exp.is_zero()) return BigInt(1).mod_floor(modulus_);
 
   const std::vector<u64> b = to_mont(base);

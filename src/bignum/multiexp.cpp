@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/parallel.h"
+#include "obs/obs.h"
 
 namespace spfe::bignum {
 namespace {
@@ -178,6 +179,9 @@ std::vector<BigInt> multi_pow_matrix(const MontgomeryContext& ctx, std::span<con
   if (count == 0 || columns == 0 || max_bits == 0) return out;
 
   const detail::MultiExpPlan plan = detail::plan_multi_exp(count, columns, max_bits);
+  obs::count(plan.kind == detail::MultiExpKind::kFixedBase ? obs::Op::kMultiexpFixedBase
+             : plan.kind == detail::MultiExpKind::kStraus  ? obs::Op::kMultiexpStraus
+                                                           : obs::Op::kMultiexpPippenger);
   const unsigned w = plan.window;
   const std::size_t windows = (max_bits + w - 1) / w;
 

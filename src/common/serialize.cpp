@@ -90,6 +90,15 @@ std::uint64_t Reader::varint() {
   return v;
 }
 
+std::uint64_t Reader::varint_count(std::size_t min_item_bytes) {
+  const std::uint64_t count = varint();
+  const std::size_t item = min_item_bytes == 0 ? 1 : min_item_bytes;
+  if (count > remaining() / item) {
+    throw SerializationError("Reader: element count exceeds buffer");
+  }
+  return count;
+}
+
 Bytes Reader::bytes() {
   const std::uint64_t len = varint();
   if (len > remaining()) throw SerializationError("Reader: byte-string length exceeds buffer");

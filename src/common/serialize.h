@@ -52,6 +52,13 @@ class Reader {
   std::uint32_t u32();
   std::uint64_t u64();
   std::uint64_t varint();
+  // Reads a varint element count whose elements each occupy at least
+  // `min_item_bytes` of the remaining buffer. Throws SerializationError when
+  // the count cannot possibly be satisfied, so callers can resize/reserve
+  // containers from wire-supplied counts without an adversarial length
+  // triggering std::length_error/std::bad_alloc (foreign exception types and
+  // a potential OOM) before the per-element reads would catch it.
+  std::uint64_t varint_count(std::size_t min_item_bytes);
   Bytes bytes();
   Bytes raw(std::size_t len);
   std::string str();

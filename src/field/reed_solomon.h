@@ -18,6 +18,7 @@
 #include "common/error.h"
 #include "field/field.h"
 #include "field/polynomial.h"
+#include "obs/obs.h"
 
 namespace spfe::field {
 
@@ -95,6 +96,7 @@ std::optional<RsDecoding<F>> berlekamp_welch_decode(
     const F& field, const std::vector<typename F::value_type>& xs,
     const std::vector<typename F::value_type>& ys, std::size_t d, std::size_t max_errors) {
   const std::size_t k = xs.size();
+  obs::count(obs::Op::kBwDecode);
   if (ys.size() != k) throw InvalidArgument("berlekamp_welch: point size mismatch");
   if (k < d + 1 + 2 * max_errors) {
     throw InvalidArgument("berlekamp_welch: not enough points for the error budget");

@@ -4,6 +4,7 @@
 #include "bignum/serialize.h"
 #include "common/error.h"
 #include "common/secret.h"
+#include "obs/obs.h"
 
 namespace spfe::he {
 
@@ -20,6 +21,7 @@ GmPublicKey::GmPublicKey(BigInt n, BigInt z)
 }
 
 BigInt GmPublicKey::encrypt(bool bit, crypto::Prg& prg) const {
+  obs::count(obs::Op::kGmEncrypt);
   const BigInt r = random_unit(prg);
   const BigInt r2 = bignum::mod_mul(r, r, n_);
   return bit ? bignum::mod_mul(z_, r2, n_) : r2;
@@ -67,6 +69,7 @@ GmPrivateKey::GmPrivateKey(BigInt p, BigInt q, BigInt z)
       euler_exp_((p_ - BigInt(1)) >> 1) {}
 
 bool GmPrivateKey::decrypt(const BigInt& c) const {
+  obs::count(obs::Op::kGmDecrypt);
   // c is a residue mod p iff the plaintext bit is 0. Euler criterion:
   // c^((p-1)/2) mod p is 1 for residues and p-1 for non-residues — same
   // verdict as the Legendre symbol, but computed with the constant-time

@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "common/parallel.h"
 #include "common/secret.h"
+#include "obs/obs.h"
 
 namespace spfe::he {
 
@@ -39,6 +40,7 @@ BigInt PaillierPublicKey::encrypt(const BigInt& m, crypto::Prg& prg) const {
 }
 
 BigInt PaillierPublicKey::encrypt_with_randomness(const BigInt& m, const BigInt& r) const {
+  obs::count(obs::Op::kPaillierEncrypt);
   const BigInt m_red = m.mod_floor(n_);
   // (1 + N)^m = 1 + m*N (mod N^2)
   const BigInt gm = (BigInt(1) + m_red * n_).mod_floor(n2_);
@@ -89,6 +91,7 @@ BigInt PaillierPublicKey::rerandomize(const BigInt& c, crypto::Prg& prg) const {
 }
 
 BigInt PaillierPublicKey::rerandomize_with_randomness(const BigInt& c, const BigInt& r) const {
+  obs::count(obs::Op::kPaillierRerandomize);
   return bignum::mod_mul(c, mont_n2_.pow(r, n_), n2_);
 }
 
@@ -165,6 +168,7 @@ void PaillierPrivateKey::check_ciphertext(const BigInt& c) const {
 // timing jitter (qhat corrections) is smoke-checked by the dudect harness
 // in tests/ct_harness_test.cpp.
 BigInt PaillierPrivateKey::decrypt(const BigInt& c) const {
+  obs::count(obs::Op::kPaillierDecrypt);
   check_ciphertext(c);
   const BigInt cp = c.mod_floor(p2_);
   const BigInt cq = c.mod_floor(q2_);
@@ -181,6 +185,7 @@ BigInt PaillierPrivateKey::decrypt(const BigInt& c) const {
 }
 
 BigInt PaillierPrivateKey::decrypt_reference(const BigInt& c) const {
+  obs::count(obs::Op::kPaillierDecrypt);
   check_ciphertext(c);
   if (!bignum::gcd(c, pk_.n()).is_one()) {
     throw CryptoError("Paillier decrypt: invalid ciphertext");

@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "crypto/kdf.h"
+#include "obs/obs.h"
 
 namespace spfe::mpc {
 namespace {
@@ -136,6 +137,7 @@ GarblingResult garble(const BooleanCircuit& circuit, crypto::Prg& prg) {
           }
         }
         gc.tables.push_back(table);
+        obs::count(obs::Op::kGarbledGates);
         break;
       }
     }
@@ -218,15 +220,15 @@ Bytes GarbledCircuit::serialize() const {
 GarbledCircuit GarbledCircuit::deserialize(BytesView data) {
   Reader r(data);
   GarbledCircuit gc;
-  const std::uint64_t n_tables = r.varint();
+  const std::uint64_t n_tables = r.varint_count(4 * kLabelBytes);
   gc.tables.resize(n_tables);
   for (auto& t : gc.tables) {
     for (Label& row : t) row = label_from_bytes(r.raw(kLabelBytes));
   }
-  const std::uint64_t n_consts = r.varint();
+  const std::uint64_t n_consts = r.varint_count(kLabelBytes);
   gc.const_labels.resize(n_consts);
   for (Label& l : gc.const_labels) l = label_from_bytes(r.raw(kLabelBytes));
-  const std::uint64_t n_out = r.varint();
+  const std::uint64_t n_out = r.varint_count(1);
   gc.output_decode.resize(n_out);
   for (std::uint64_t i = 0; i < n_out; ++i) gc.output_decode[i] = r.u8() != 0;
   r.expect_done();

@@ -3,6 +3,7 @@
 #include "common/error.h"
 #include "common/serialize.h"
 #include "mpc/yao.h"
+#include "obs/obs.h"
 #include "ot/ot_extension.h"
 
 namespace spfe::mpc {
@@ -38,7 +39,7 @@ struct ServerPayload {
 ServerPayload unpack_server_payload(Reader& r) {
   ServerPayload p;
   p.gc = GarbledCircuit::deserialize(r.bytes());
-  const std::uint64_t n = r.varint();
+  const std::uint64_t n = r.varint_count(kLabelBytes);
   p.server_labels.resize(n);
   for (auto& l : p.server_labels) l = label_from_bytes(r.raw(kLabelBytes));
   return p;
@@ -105,6 +106,7 @@ std::vector<bool> run_yao(net::StarNetwork& net, std::size_t server_id,
                           const std::vector<bool>& client_bits,
                           const std::vector<bool>& server_bits, const ot::SchnorrGroup& group,
                           crypto::Prg& client_prg, crypto::Prg& server_prg) {
+  SPFE_OBS_SPAN("yao.run");
   check_split(circuit, client_bits.size(), server_bits.size());
   YaoEvaluatorClient client(circuit, client_bits, group);
   YaoGarblerServer server(circuit, server_bits, group);
@@ -120,6 +122,7 @@ std::vector<bool> run_yao_with_extension(net::StarNetwork& net, std::size_t serv
                                          const std::vector<bool>& server_bits,
                                          const ot::SchnorrGroup& group, crypto::Prg& client_prg,
                                          crypto::Prg& server_prg) {
+  SPFE_OBS_SPAN("yao.run_with_extension");
   check_split(circuit, client_bits.size(), server_bits.size());
   const std::size_t client_count = client_bits.size();
 

@@ -28,6 +28,7 @@
 #include "field/field.h"
 #include "field/reed_solomon.h"
 #include "net/network.h"
+#include "obs/obs.h"
 
 namespace spfe::net {
 
@@ -106,6 +107,9 @@ std::pair<typename F::value_type, RobustnessReport> run_robust_star(
   report.servers = k;
 
   for (std::size_t attempt = 0; attempt < cfg.max_attempts; ++attempt) {
+    obs::Span attempt_span("robust.attempt");
+    attempt_span.note("attempt=" + std::to_string(attempt));
+    if (attempt > 0) obs::count(obs::Op::kRobustRetry);
     report.attempts = attempt + 1;
     report.verdicts.assign(k, ServerReport{});
     // Stale messages from a previous attempt (delayed answers, duplicates)
@@ -180,6 +184,8 @@ std::pair<typename F::value_type, RobustnessReport> run_robust_star(
         report.erasures = k - xs.size();
         report.errors_corrected = decoding->num_errors();
         report.failure_reason.clear();
+        attempt_span.note("ok erasures=" + std::to_string(report.erasures) +
+                          " corrected=" + std::to_string(report.errors_corrected));
         drain_star_network(net);
         return {decoding->eval(field, field.zero()), std::move(report)};
       }
@@ -191,6 +197,7 @@ std::pair<typename F::value_type, RobustnessReport> run_robust_star(
                               " answers usable; interpolation needs " +
                               std::to_string(degree + 1);
     }
+    attempt_span.note("failed: " + report.failure_reason);
   }
 
   report.success = false;

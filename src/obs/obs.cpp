@@ -1,0 +1,311 @@
+#include "obs/obs.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace spfe::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+std::array<std::atomic<std::uint64_t>, kNumOps> g_counters{};
+}  // namespace detail
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+OpCounts snapshot_counters() {
+  OpCounts out{};
+  for (std::size_t i = 0; i < kNumOps; ++i) {
+    out[i] = detail::g_counters[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+// Stack of open span indices for the current thread. Spans are only opened
+// on protocol-driving threads, but a thread_local stack keeps nesting
+// correct even if several driving threads trace concurrently (e.g. tests).
+thread_local std::vector<std::size_t> t_span_stack;
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c) & 0xff);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_ops_json(std::string& out, const OpCounts& ops) {
+  out += '{';
+  bool first = true;
+  for (std::size_t i = 0; i < kNumOps; ++i) {
+    if (ops[i] == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += op_name(static_cast<Op>(i));
+    out += "\":";
+    out += std::to_string(ops[i]);
+  }
+  out += '}';
+}
+
+}  // namespace
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kModExp: return "modexp";
+    case Op::kPaillierEncrypt: return "paillier_encrypt";
+    case Op::kPaillierDecrypt: return "paillier_decrypt";
+    case Op::kPaillierRerandomize: return "paillier_rerandomize";
+    case Op::kGmEncrypt: return "gm_encrypt";
+    case Op::kGmDecrypt: return "gm_decrypt";
+    case Op::kGarbledGates: return "garbled_gates";
+    case Op::kOtBase: return "ot_base";
+    case Op::kOtExtended: return "ot_extended";
+    case Op::kBwDecode: return "bw_decode";
+    case Op::kRobustRetry: return "robust_retry";
+    case Op::kMultiexpStraus: return "multiexp_straus";
+    case Op::kMultiexpPippenger: return "multiexp_pippenger";
+    case Op::kMultiexpFixedBase: return "multiexp_fixed_base";
+  }
+  return "unknown";
+}
+
+OpCounts SpanRecord::delta() const {
+  OpCounts out{};
+  for (std::size_t i = 0; i < kNumOps; ++i) {
+    out[i] = end[i] >= begin[i] ? end[i] - begin[i] : 0;
+  }
+  return out;
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+  if (on) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (epoch_ns_ == 0) epoch_ns_ = steady_now_ns();
+  }
+}
+
+void Tracer::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+  epoch_ns_ = steady_now_ns();
+  for (std::size_t i = 0; i < kNumOps; ++i) {
+    detail::g_counters[i].store(0, std::memory_order_relaxed);
+  }
+  t_span_stack.clear();
+}
+
+std::vector<SpanRecord> Tracer::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+OpCounts Tracer::totals() const { return snapshot_counters(); }
+
+OpCounts Tracer::root_totals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  OpCounts out{};
+  for (const SpanRecord& rec : records_) {
+    if (rec.parent != SpanRecord::kNoParent || rec.open()) continue;
+    const OpCounts d = rec.delta();
+    for (std::size_t i = 0; i < kNumOps; ++i) out[i] += d[i];
+  }
+  return out;
+}
+
+std::vector<SpanSummary> Tracer::summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanSummary> out;
+  for (const SpanRecord& rec : records_) {
+    if (rec.open()) continue;
+    SpanSummary* row = nullptr;
+    for (SpanSummary& s : out) {
+      if (s.name == rec.name) { row = &s; break; }
+    }
+    if (row == nullptr) {
+      out.push_back(SpanSummary{});
+      row = &out.back();
+      row->name = rec.name;
+    }
+    row->calls += 1;
+    row->total_ns += rec.duration_ns();
+    const OpCounts d = rec.delta();
+    for (std::size_t i = 0; i < kNumOps; ++i) row->ops[i] += d[i];
+  }
+  return out;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  std::vector<SpanRecord> recs = spans();
+  std::string out;
+  out.reserve(256 + recs.size() * 160);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& rec : recs) {
+    if (rec.open()) continue;  // unclosed spans would have bogus durations
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    json_escape_into(out, rec.name);
+    // Complete ("X") events; chrome expects microsecond timestamps.
+    out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":";
+    out += std::to_string(rec.start_ns / 1000);
+    out += ",\"dur\":";
+    out += std::to_string(rec.duration_ns() / 1000);
+    out += ",\"args\":{\"span_id\":";
+    out += std::to_string(rec.id);
+    out += ",\"parent\":";
+    out += rec.parent == SpanRecord::kNoParent ? std::string("-1")
+                                               : std::to_string(rec.parent);
+    if (!rec.note.empty()) {
+      out += ",\"note\":\"";
+      json_escape_into(out, rec.note);
+      out += '"';
+    }
+    out += ",\"ops\":";
+    append_ops_json(out, rec.delta());
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  const std::string json = chrome_trace_json();
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "spfe-obs: cannot open %s: %s\n", tmp.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool write_ok = written == json.size();
+  const bool close_ok = std::fclose(f) == 0;
+  if (!write_ok || !close_ok) {
+    std::fprintf(stderr, "spfe-obs: short write to %s\n", tmp.c_str());
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "spfe-obs: rename %s -> %s failed: %s\n", tmp.c_str(),
+                 path.c_str(), std::strerror(errno));
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::size_t Tracer::open_span(const char* name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t idx = records_.size();
+  SpanRecord rec;
+  rec.id = idx;
+  if (!t_span_stack.empty()) {
+    rec.parent = t_span_stack.back();
+    rec.depth = records_[rec.parent].depth + 1;
+  }
+  rec.name = name;
+  const std::uint64_t now = steady_now_ns();
+  rec.start_ns = now >= epoch_ns_ ? now - epoch_ns_ : 0;
+  rec.begin = snapshot_counters();
+  records_.push_back(std::move(rec));
+  t_span_stack.push_back(idx);
+  return idx;
+}
+
+void Tracer::close_span(std::size_t idx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (idx >= records_.size()) return;
+  SpanRecord& rec = records_[idx];
+  const std::uint64_t now = steady_now_ns();
+  rec.end_ns = now >= epoch_ns_ ? now - epoch_ns_ : 0;
+  if (rec.end_ns <= rec.start_ns) rec.end_ns = rec.start_ns + 1;
+  rec.end = snapshot_counters();
+  // Pop this span (and, defensively, anything opened above it that leaked).
+  while (!t_span_stack.empty() && t_span_stack.back() >= idx) {
+    t_span_stack.pop_back();
+  }
+}
+
+void Tracer::annotate_span(std::size_t idx, const std::string& note) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (idx >= records_.size()) return;
+  SpanRecord& rec = records_[idx];
+  if (!rec.note.empty()) rec.note += ';';
+  rec.note += note;
+}
+
+Span::Span(const char* name) {
+  if (!enabled()) return;
+  idx_ = Tracer::global().open_span(name);
+}
+
+Span::~Span() {
+  if (idx_ == kInactive) return;
+  Tracer::global().close_span(idx_);
+}
+
+void Span::note(const std::string& text) {
+  if (idx_ == kInactive) return;
+  Tracer::global().annotate_span(idx_, text);
+}
+
+// ---------------------------------------------------------------------------
+// SPFE_TRACE env gate: when set, enable tracing for the whole process and
+// export a chrome trace at exit. Lives in this TU, which every binary links
+// because count()/enabled() reference the globals defined above.
+namespace {
+
+void write_env_trace_at_exit() {
+  Tracer& t = Tracer::global();
+  if (t.env_trace_path().empty()) return;
+  t.write_chrome_trace(t.env_trace_path());
+}
+
+}  // namespace
+
+struct EnvInit {
+  EnvInit() {
+    const char* path = std::getenv("SPFE_TRACE");
+    if (path == nullptr || path[0] == '\0') return;
+    Tracer& t = Tracer::global();
+    t.env_path_ = path;
+    t.set_enabled(true);
+    std::atexit(&write_env_trace_at_exit);
+  }
+};
+
+namespace {
+const EnvInit g_env_init;
+}  // namespace
+
+}  // namespace spfe::obs

@@ -4,6 +4,7 @@
 #include "common/error.h"
 #include "common/serialize.h"
 #include "crypto/kdf.h"
+#include "obs/obs.h"
 
 namespace spfe::ot {
 
@@ -29,6 +30,7 @@ Bytes BaseOt::make_query(const std::vector<bool>& choices,
                          std::vector<OtReceiverState>& states, crypto::Prg& prg) const {
   states.clear();
   states.reserve(choices.size());
+  obs::count(obs::Op::kOtBase, choices.size());
   Writer w;
   w.varint(choices.size());
   for (const bool b : choices) {

@@ -3,6 +3,7 @@
 #include "common/error.h"
 #include "common/serialize.h"
 #include "crypto/kdf.h"
+#include "obs/obs.h"
 
 namespace spfe::ot {
 namespace {
@@ -102,6 +103,7 @@ OtExtensionReceiver::OtExtensionReceiver(SchnorrGroup group, std::vector<bool> c
 
 Bytes OtExtensionReceiver::respond(BytesView sender_msg, crypto::Prg& prg) {
   const std::size_t n = choices_.size();
+  obs::count(obs::Op::kOtExtended, n);
   const std::size_t column_bytes = (n + 7) / 8;
 
   Bytes r_bits(column_bytes, 0);

@@ -7,6 +7,7 @@
 #include "common/parallel.h"
 #include "common/secret.h"
 #include "common/serialize.h"
+#include "obs/obs.h"
 
 namespace spfe::pir {
 
@@ -59,6 +60,7 @@ std::size_t PaillierPir::chunk_bytes() const {
 Bytes PaillierPir::make_query(std::size_t /*secret*/ index, ClientState& state,
                               crypto::Prg& prg) const {
   if (index >= n_) throw InvalidArgument("PaillierPir: index out of range");
+  SPFE_OBS_SPAN("cpir.make_query");
   state.positions.clear();
   // Decompose the retrieval index into per-dimension positions and compute
   // every selector bit with the mask primitives: the mixed-radix div/mod and
@@ -90,6 +92,7 @@ Bytes PaillierPir::make_query(std::size_t /*secret*/ index, ClientState& state,
 
 Bytes PaillierPir::answer_chunks(std::vector<std::vector<BigInt>> items, BytesView query,
                                  crypto::Prg& prg) const {
+  SPFE_OBS_SPAN("cpir.answer");
   Reader r(query);
   // Parse per-dimension selectors.
   std::vector<std::vector<BigInt>> selectors(dims_.size());
@@ -103,6 +106,8 @@ Bytes PaillierPir::answer_chunks(std::vector<std::vector<BigInt>> items, BytesVi
 
   const std::size_t cb = chunk_bytes();
   for (std::size_t level = 0; level < dims_.size(); ++level) {
+    obs::Span fold_span("cpir.fold");
+    fold_span.note("level=" + std::to_string(level));
     const std::size_t dim = dims_[level];
     const std::size_t groups = (items.size() + dim - 1) / dim;
     const std::size_t chunks = items.empty() ? 0 : items[0].size();
@@ -217,8 +222,9 @@ Bytes PaillierPir::answer_bytes(std::span<const Bytes> database, std::size_t ite
 std::vector<BigInt> PaillierPir::decode_chunks(const he::PaillierPrivateKey& sk,
                                                BytesView answer,
                                                std::size_t level0_chunks) const {
+  SPFE_OBS_SPAN("cpir.decode");
   Reader r(answer);
-  const std::uint64_t count = r.varint();
+  const std::uint64_t count = r.varint_count(pk_.ciphertext_bytes());
   std::vector<BigInt> cts;
   cts.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {

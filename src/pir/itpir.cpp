@@ -5,6 +5,7 @@
 #include "common/serialize.h"
 #include "field/polynomial.h"
 #include "field/reed_solomon.h"
+#include "obs/obs.h"
 
 namespace spfe::pir {
 namespace {
@@ -164,6 +165,7 @@ std::uint64_t PolyItPir::run(net::StarNetwork& net, std::span<const std::uint64_
                              const std::optional<crypto::Prg::Seed>& spir_seed,
                              crypto::Prg& prg) const {
   if (net.num_servers() != k_) throw InvalidArgument("PolyItPir: network has wrong server count");
+  SPFE_OBS_SPAN("itpir.run");
   ClientState state;
   const auto queries = make_queries(index, state, prg);
   for (std::size_t h = 0; h < k_; ++h) net.client_send(h, queries[h]);
@@ -183,6 +185,7 @@ net::RobustResult PolyItPir::run_robust(net::StarNetwork& net,
                                         const std::optional<crypto::Prg::Seed>& spir_seed,
                                         crypto::Prg& prg, const net::RobustConfig& cfg) const {
   if (net.num_servers() != k_) throw InvalidArgument("PolyItPir: network has wrong server count");
+  SPFE_OBS_SPAN("itpir.run_robust");
   auto [value, report] = net::run_robust_star(
       field_, net, l_ * t_, cfg,
       [&](std::size_t /*attempt*/, std::vector<std::uint64_t>& abscissae) {

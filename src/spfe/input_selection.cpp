@@ -3,6 +3,7 @@
 #include "bignum/serialize.h"
 #include "common/error.h"
 #include "common/serialize.h"
+#include "obs/obs.h"
 #include "pir/batch_pir.h"
 #include "pir/cpir.h"
 
@@ -75,6 +76,7 @@ SelectedShares input_selection_per_item(net::StarNetwork& net, std::size_t serve
                                         const he::PaillierPrivateKey& client_sk,
                                         std::size_t pir_depth, crypto::Prg& client_prg,
                                         crypto::Prg& server_prg) {
+  SPFE_OBS_SPAN("input_selection.per_item");
   check_inputs(database, indices, modulus);
   const std::size_t m = indices.size();
   const std::size_t n = database.size();
@@ -124,6 +126,7 @@ SelectedShares input_selection_poly_mask_client_key(
     const std::vector<std::size_t>& indices, const field::Fp64& field,
     const he::PaillierPrivateKey& client_sk, std::size_t pir_depth, crypto::Prg& client_prg,
     crypto::Prg& server_prg) {
+  SPFE_OBS_SPAN("input_selection.poly_mask_client_key");
   const std::uint64_t p = field.modulus();
   check_inputs(database, indices, p);
   const std::size_t m = indices.size();
@@ -208,6 +211,7 @@ SelectedShares input_selection_poly_mask_server_key(
     const std::vector<std::size_t>& indices, const field::Fp64& field,
     const he::PaillierPrivateKey& server_sk, const he::PaillierPrivateKey& client_sk,
     std::size_t pir_depth, crypto::Prg& client_prg, crypto::Prg& server_prg) {
+  SPFE_OBS_SPAN("input_selection.poly_mask_server_key");
   const std::uint64_t p = field.modulus();
   check_inputs(database, indices, p);
   const std::size_t m = indices.size();
@@ -308,6 +312,7 @@ SelectedShares input_selection_encrypted_db(net::StarNetwork& net, std::size_t s
                                             const he::PaillierPrivateKey& client_sk,
                                             std::size_t pir_depth, crypto::Prg& client_prg,
                                             crypto::Prg& server_prg) {
+  SPFE_OBS_SPAN("input_selection.encrypted_db");
   check_inputs(database, indices, modulus);
   const std::size_t m = indices.size();
   const std::size_t n = database.size();
@@ -379,6 +384,7 @@ SelectedXorShares input_selection_encrypted_db_gm(
     const std::vector<std::size_t>& indices, std::size_t item_bits,
     const he::GmPrivateKey& server_sk, const he::PaillierPrivateKey& client_sk,
     std::size_t pir_depth, crypto::Prg& client_prg, crypto::Prg& server_prg) {
+  SPFE_OBS_SPAN("input_selection.encrypted_db_gm");
   if (item_bits == 0 || item_bits > 63) {
     throw InvalidArgument("GM input selection: item_bits must be in [1, 63]");
   }

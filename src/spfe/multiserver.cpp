@@ -3,6 +3,7 @@
 #include "common/error.h"
 #include "common/parallel.h"
 #include "common/serialize.h"
+#include "obs/obs.h"
 #include "field/polynomial.h"
 #include "field/reed_solomon.h"
 #include "pir/itpir.h"
@@ -126,23 +127,32 @@ std::uint64_t run_star(const Protocol& proto, net::StarNetwork& net,
                        std::span<const std::uint64_t> database,
                        const std::vector<std::size_t>& indices,
                        const std::optional<crypto::Prg::Seed>& spir_seed, crypto::Prg& prg) {
+  SPFE_OBS_SPAN("multiserver.run");
   typename Protocol::ClientState state;
-  const auto queries = proto.make_queries(indices, state, prg);
-  for (std::size_t h = 0; h < queries.size(); ++h) net.client_send(h, queries[h]);
-  std::vector<Bytes> received(queries.size());
-  for (std::size_t h = 0; h < queries.size(); ++h) received[h] = net.server_receive(h);
+  std::vector<Bytes> received;
+  {
+    SPFE_OBS_SPAN("multiserver.queries");
+    const auto queries = proto.make_queries(indices, state, prg);
+    for (std::size_t h = 0; h < queries.size(); ++h) net.client_send(h, queries[h]);
+    received.resize(queries.size());
+    for (std::size_t h = 0; h < queries.size(); ++h) received[h] = net.server_receive(h);
+  }
   // The k servers evaluate concurrently (each answer() is pure in shared
   // state), then enqueue sequentially in server order so CommStats metering
   // and round detection stay byte-identical to a serial run.
   const crypto::Prg::Seed* seed = spir_seed ? &*spir_seed : nullptr;
-  std::vector<Bytes> computed(queries.size());
-  common::parallel_for(queries.size(), [&](std::size_t h) {
-    computed[h] = proto.answer(h, database, received[h], seed);
-  });
-  for (std::size_t h = 0; h < queries.size(); ++h) net.server_send(h, std::move(computed[h]));
   std::vector<Bytes> answers;
-  answers.reserve(queries.size());
-  for (std::size_t h = 0; h < queries.size(); ++h) answers.push_back(net.client_receive(h));
+  {
+    SPFE_OBS_SPAN("multiserver.answers");
+    std::vector<Bytes> computed(received.size());
+    common::parallel_for(received.size(), [&](std::size_t h) {
+      computed[h] = proto.answer(h, database, received[h], seed);
+    });
+    for (std::size_t h = 0; h < computed.size(); ++h) net.server_send(h, std::move(computed[h]));
+    answers.reserve(received.size());
+    for (std::size_t h = 0; h < received.size(); ++h) answers.push_back(net.client_receive(h));
+  }
+  SPFE_OBS_SPAN("multiserver.decode");
   return proto.decode(answers, state);
 }
 
@@ -158,6 +168,7 @@ net::RobustResult run_robust_protocol(const Protocol& proto, const field::Fp64& 
   if (net.num_servers() != proto.num_servers()) {
     throw InvalidArgument("multi-server SPFE: network has wrong server count");
   }
+  SPFE_OBS_SPAN("multiserver.run_robust");
   auto [value, report] = net::run_robust_star(
       field, net, degree, cfg,
       [&](std::size_t /*attempt*/, std::vector<std::uint64_t>& abscissae) {

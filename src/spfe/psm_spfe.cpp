@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "common/serialize.h"
+#include "obs/obs.h"
 
 namespace spfe::protocols {
 namespace {
@@ -28,6 +29,7 @@ std::uint64_t PsmSumSpfeSingleServer::run(net::StarNetwork& net,
                                           const he::PaillierPrivateKey& sk,
                                           crypto::Prg& client_prg,
                                           crypto::Prg& server_prg) const {
+  SPFE_OBS_SPAN("psm.sum_single_server");
   check_indices(indices, m_, n_);
   if (database.size() != n_) throw InvalidArgument("PsmSumSpfeSingleServer: database size");
   const pir::PaillierPir spir(pk_, n_, pir_depth_);
@@ -87,6 +89,7 @@ std::vector<bool> PsmYaoSpfeSingleServer::run(net::StarNetwork& net,
                                               const he::PaillierPrivateKey& sk,
                                               crypto::Prg& client_prg,
                                               crypto::Prg& server_prg) const {
+  SPFE_OBS_SPAN("psm.yao_single_server");
   check_indices(indices, m_, n_);
   if (database.size() != n_) throw InvalidArgument("PsmYaoSpfeSingleServer: database size");
   const pir::PaillierPir spir(pk_, n_, pir_depth_);
@@ -139,6 +142,7 @@ std::uint64_t PsmSumSpfeMultiServer::run(net::StarNetwork& net,
                                          const std::vector<std::size_t>& indices,
                                          crypto::Prg& client_prg,
                                          crypto::Prg& server_prg) const {
+  SPFE_OBS_SPAN("psm.sum_multi_server");
   check_indices(indices, m_, n_);
   if (database.size() != n_) throw InvalidArgument("PsmSumSpfeMultiServer: database size");
   if (net.num_servers() != k_) throw InvalidArgument("PsmSumSpfeMultiServer: server count");

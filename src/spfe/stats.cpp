@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/serialize.h"
+#include "obs/obs.h"
 #include "pir/batch_pir.h"
 
 namespace spfe::protocols {
@@ -73,6 +74,7 @@ std::uint64_t WeightedSumProtocol::run(net::StarNetwork& net, std::size_t server
                                        const std::vector<std::uint64_t>& weights,
                                        const he::PaillierPrivateKey& client_sk,
                                        crypto::Prg& client_prg, crypto::Prg& server_prg) const {
+  SPFE_OBS_SPAN("stats.weighted_sum");
   const std::uint64_t p = field_.modulus();
   check_stat_inputs(database, indices, n_, m_, p);
   if (weights.size() != m_) throw InvalidArgument("WeightedSumProtocol: need m weights");
@@ -241,6 +243,7 @@ std::size_t FrequencyProtocol::run(net::StarNetwork& net, std::size_t server_id,
                                    const he::PaillierPrivateKey& client_sk,
                                    const he::PaillierPrivateKey& server_sk,
                                    crypto::Prg& client_prg, crypto::Prg& server_prg) const {
+  SPFE_OBS_SPAN("stats.frequency");
   const std::uint64_t p = field_.modulus();
   check_stat_inputs(database, indices, n_, m_, p);
   if (keyword >= p) throw InvalidArgument("FrequencyProtocol: keyword outside field");

@@ -4,6 +4,7 @@
 #include "field/fp64.h"
 #include "mpc/arith_protocol.h"
 #include "mpc/yao_protocol.h"
+#include "obs/obs.h"
 
 namespace spfe::protocols {
 namespace {
@@ -40,6 +41,8 @@ SelectedShares run_input_selection(net::StarNetwork& net, std::size_t server_id,
                                    const he::PaillierPrivateKey& server_sk,
                                    std::size_t pir_depth, crypto::Prg& client_prg,
                                    crypto::Prg& server_prg) {
+  obs::Span span("spfe.input_selection");
+  span.note(selection_method_name(method));
   switch (method) {
     case SelectionMethod::kPerItem:
       return input_selection_per_item(net, server_id, database, indices, modulus, client_sk,
@@ -68,9 +71,11 @@ std::vector<std::uint64_t> run_two_phase_arith(
   if (circuit.num_inputs() != indices.size()) {
     throw InvalidArgument("run_two_phase_arith: circuit arity != m");
   }
+  SPFE_OBS_SPAN("spfe.two_phase_arith");
   const SelectedShares shares =
       run_input_selection(net, server_id, database, indices, circuit.modulus(), method,
                           client_sk, server_sk, pir_depth, client_prg, server_prg);
+  SPFE_OBS_SPAN("spfe.mpc_arith");
   return mpc::run_arith_mpc_shared(net, server_id, circuit, client_sk, shares.client_shares,
                                    shares.server_shares, client_prg, server_prg);
 }
@@ -118,6 +123,7 @@ std::vector<bool> run_two_phase_boolean_private_param(
     const he::PaillierPrivateKey& client_sk, const he::PaillierPrivateKey& server_sk,
     const ot::SchnorrGroup& ot_group, std::size_t pir_depth, crypto::Prg& client_prg,
     crypto::Prg& server_prg) {
+  SPFE_OBS_SPAN("spfe.two_phase_boolean_private_param");
   if (param_bits == 0 || param_bits > 63) {
     throw InvalidArgument("run_two_phase_boolean_private_param: param_bits in [1, 63]");
   }
@@ -192,6 +198,7 @@ std::vector<bool> run_two_phase_boolean_gm(
     const he::GmPrivateKey& server_gm_sk, const he::PaillierPrivateKey& client_sk,
     const ot::SchnorrGroup& ot_group, std::size_t pir_depth, crypto::Prg& client_prg,
     crypto::Prg& server_prg) {
+  SPFE_OBS_SPAN("spfe.two_phase_boolean_gm");
   const SelectedXorShares shares =
       input_selection_encrypted_db_gm(net, server_id, database, indices, item_bits,
                                       server_gm_sk, client_sk, pir_depth, client_prg,
@@ -236,6 +243,7 @@ std::vector<bool> run_two_phase_boolean(
     const he::PaillierPrivateKey& client_sk, const he::PaillierPrivateKey& server_sk,
     const ot::SchnorrGroup& ot_group, std::size_t pir_depth, crypto::Prg& client_prg,
     crypto::Prg& server_prg) {
+  SPFE_OBS_SPAN("spfe.two_phase_boolean");
   if (item_bits == 0 || item_bits >= 63) {
     throw InvalidArgument("run_two_phase_boolean: item_bits must be in [1, 62]");
   }

@@ -104,6 +104,54 @@ TEST(Serialize, ExpectDoneThrowsOnTrailing) {
   EXPECT_THROW(r.expect_done(), SerializationError);
 }
 
+TEST(Serialize, VarintCountAcceptsPlausibleCount) {
+  Writer w;
+  w.varint(3);
+  w.raw(Bytes(12, 0xab));  // 3 items of >= 4 bytes each
+  Reader r(w.data());
+  EXPECT_EQ(r.varint_count(4), 3u);
+}
+
+TEST(Serialize, VarintCountRejectsCountBeyondBuffer) {
+  // A count whose minimal payload cannot fit in the remaining bytes must be
+  // rejected BEFORE any count-sized allocation: 2^60 claimed elements over a
+  // 12-byte buffer used to reach vector::resize as a std::length_error.
+  Writer w;
+  w.varint(std::uint64_t(1) << 60);
+  w.raw(Bytes(12, 0));
+  Reader r(w.data());
+  EXPECT_THROW(r.varint_count(4), SerializationError);
+}
+
+TEST(Serialize, VarintCountExactFitIsAccepted) {
+  Writer w;
+  w.varint(5);
+  w.raw(Bytes(5, 1));
+  Reader r(w.data());
+  EXPECT_EQ(r.varint_count(1), 5u);
+  // One more element than fits is rejected.
+  Writer w2;
+  w2.varint(6);
+  w2.raw(Bytes(5, 1));
+  Reader r2(w2.data());
+  EXPECT_THROW(r2.varint_count(1), SerializationError);
+}
+
+TEST(Serialize, VarintCountZeroItemSizeTreatedAsOneByte) {
+  // min_item_bytes = 0 (caller doesn't know a floor) still bounds the count
+  // by the remaining byte count instead of dividing by zero.
+  Writer w;
+  w.varint(4);
+  w.raw(Bytes(4, 9));
+  Reader r(w.data());
+  EXPECT_EQ(r.varint_count(0), 4u);
+  Writer w2;
+  w2.varint(5);
+  w2.raw(Bytes(4, 9));
+  Reader r2(w2.data());
+  EXPECT_THROW(r2.varint_count(0), SerializationError);
+}
+
 TEST(Serialize, VarintOverflowThrows) {
   // 10 bytes of 0xff encode more than 64 bits.
   const Bytes evil(10, 0xff);

@@ -182,6 +182,72 @@ TEST(FaultyStarNetworkTest, CrashedReceiveClearsBacklog) {
   EXPECT_TRUE(net.idle());
 }
 
+TEST(FaultyStarNetworkTest, DroppedMessageStillAdvancesHalfRounds) {
+  // A dropped message was transmitted: it must participate in half-round
+  // direction accounting exactly like a delivered one, otherwise round
+  // counts silently depend on the fault plan.
+  FaultPlan plan;
+  plan.add(Direction::kClientToServer, 0, 0, Fault{FaultKind::kDrop, 0, 0x01, 0});
+  FaultyStarNetwork net(1, plan);
+  net.client_send(0, msg({1, 2}));  // dropped, but metered
+  EXPECT_EQ(net.stats().half_rounds, 1u);
+  net.server_send(0, msg({3}));
+  EXPECT_EQ(net.stats().half_rounds, 2u);
+  StarNetwork perfect(1);
+  perfect.client_send(0, msg({1, 2}));
+  perfect.server_send(0, msg({3}));
+  EXPECT_EQ(net.stats().half_rounds, perfect.stats().half_rounds);
+}
+
+TEST(FaultyStarNetworkTest, DuplicateDoesNotDoubleCountHalfRounds) {
+  // The duplicate is injected at the queue, not re-transmitted: bytes,
+  // messages, AND half-rounds reflect a single send.
+  FaultPlan plan;
+  plan.add(Direction::kServerToClient, 0, 0, Fault{FaultKind::kDuplicate, 0, 0x01, 0});
+  FaultyStarNetwork net(1, plan);
+  net.client_send(0, msg({1}));
+  net.server_send(0, msg({2, 3}));
+  EXPECT_EQ(net.stats().half_rounds, 2u);
+  EXPECT_EQ(net.stats().server_to_client_messages, 1u);
+  EXPECT_EQ(net.stats().server_to_client_bytes, 2u);
+  EXPECT_EQ(net.client_receive(0), msg({2, 3}));
+  EXPECT_EQ(net.client_receive(0), msg({2, 3}));
+  // Draining the duplicate changed nothing meter-side.
+  EXPECT_EQ(net.stats().server_to_client_messages, 1u);
+  EXPECT_EQ(net.stats().half_rounds, 2u);
+}
+
+TEST(FaultyStarNetworkTest, DelayedReceiveThrowDoesNotPerturbStats) {
+  // The timeout thrown by a delayed message and the eventual successful
+  // receive are both receive-side events: stats stay byte-for-byte identical
+  // through the throw and the retry.
+  FaultPlan plan;
+  plan.add(Direction::kServerToClient, 0, 0, Fault{FaultKind::kDelayHalfRound, 0, 0x01, 0});
+  FaultyStarNetwork net(1, plan);
+  net.server_send(0, msg({9, 9}));
+  const CommStats before = net.stats();
+  EXPECT_THROW(net.client_receive(0), ServerUnavailable);
+  EXPECT_EQ(net.stats().server_to_client_bytes, before.server_to_client_bytes);
+  EXPECT_EQ(net.stats().server_to_client_messages, before.server_to_client_messages);
+  EXPECT_EQ(net.stats().half_rounds, before.half_rounds);
+  EXPECT_EQ(net.client_receive(0), msg({9, 9}));
+  EXPECT_EQ(net.stats().server_to_client_messages, before.server_to_client_messages);
+}
+
+TEST(FaultyStarNetworkTest, ZeroByteMessageSurvivesFaultMetering) {
+  // Zero-byte messages through the fault layer: metered as one message and
+  // a half-round; a corrupt fault on an empty payload must not crash (there
+  // is no byte to flip) and still delivers the empty message.
+  FaultPlan plan;
+  plan.add(Direction::kClientToServer, 0, 0, Fault{FaultKind::kCorruptByte, 3, 0xFF, 0});
+  FaultyStarNetwork net(1, plan);
+  net.client_send(0, msg({}));
+  EXPECT_EQ(net.stats().client_to_server_messages, 1u);
+  EXPECT_EQ(net.stats().client_to_server_bytes, 0u);
+  EXPECT_EQ(net.stats().half_rounds, 1u);
+  EXPECT_EQ(net.server_receive(0), msg({}));
+}
+
 TEST(FaultyStarNetworkTest, ErrorMessagesNameServerAndState) {
   FaultyStarNetwork net(3, FaultPlan{});
   try {

@@ -72,6 +72,59 @@ TEST(StarNetwork, BatchedSendsSameDirectionAreOneHalfRound) {
   EXPECT_EQ(net.stats().half_rounds, 2u);
 }
 
+TEST(StarNetwork, ZeroByteMessageCountsMessageAndHalfRound) {
+  // A zero-byte message is still a message: it carries protocol flow (e.g.
+  // an empty acknowledgement) and must advance the message and half-round
+  // counters even though it contributes no bytes.
+  StarNetwork net(1);
+  net.client_send(0, {});
+  EXPECT_EQ(net.stats().client_to_server_bytes, 0u);
+  EXPECT_EQ(net.stats().client_to_server_messages, 1u);
+  EXPECT_EQ(net.stats().half_rounds, 1u);
+  net.server_send(0, {});
+  EXPECT_EQ(net.stats().server_to_client_messages, 1u);
+  EXPECT_EQ(net.stats().half_rounds, 2u);
+  EXPECT_DOUBLE_EQ(net.stats().rounds(), 1.0);
+  EXPECT_EQ(net.stats().total_bytes(), 0u);
+  // Delivery still works for empty payloads.
+  EXPECT_EQ(net.server_receive(0), Bytes{});
+  EXPECT_EQ(net.client_receive(0), Bytes{});
+}
+
+TEST(StarNetwork, ResetStatsMidProtocolSameDirectionOpensNewHalfRound) {
+  // reset_stats() mid-protocol clears direction tracking too: a send in the
+  // SAME direction as the last pre-reset send must open a new half-round,
+  // not silently extend the (now unaccounted) old one.
+  StarNetwork net(1);
+  net.client_send(0, {1});
+  net.client_send(0, {2});
+  EXPECT_EQ(net.stats().half_rounds, 1u);
+  net.reset_stats();
+  net.client_send(0, {3});
+  EXPECT_EQ(net.stats().half_rounds, 1u);
+  EXPECT_EQ(net.stats().client_to_server_messages, 1u);
+  EXPECT_EQ(net.stats().client_to_server_bytes, 1u);
+  // Undelivered pre-reset messages are unaffected by the stats reset.
+  EXPECT_EQ(net.server_receive(0), Bytes{1});
+  EXPECT_EQ(net.server_receive(0), Bytes{2});
+  EXPECT_EQ(net.server_receive(0), Bytes{3});
+  EXPECT_EQ(net.stats().half_rounds, 1u);
+}
+
+TEST(StarNetwork, ReceivesNeverAffectMetering) {
+  // Metering is send-side only: draining queues must not change any counter
+  // (receives are local dequeues, not wire traffic).
+  StarNetwork net(2);
+  net.client_send(0, {1, 2});
+  net.client_send(1, {3});
+  const CommStats before = net.stats();
+  (void)net.server_receive(0);
+  (void)net.server_receive(1);
+  EXPECT_EQ(net.stats().client_to_server_bytes, before.client_to_server_bytes);
+  EXPECT_EQ(net.stats().client_to_server_messages, before.client_to_server_messages);
+  EXPECT_EQ(net.stats().half_rounds, before.half_rounds);
+}
+
 TEST(StarNetwork, ResetStats) {
   StarNetwork net(1);
   net.client_send(0, Bytes(10));

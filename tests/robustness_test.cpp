@@ -7,6 +7,7 @@
 #include <functional>
 
 #include "common/error.h"
+#include "common/serialize.h"
 #include "crypto/prg.h"
 #include "field/fp64.h"
 #include "he/paillier.h"
@@ -182,6 +183,119 @@ TEST(Robustness, TwoServerXorPirRejectsBadQuerySizes) {
   pir::TwoServerXorPir::ClientState state;
   const auto [q0, q1] = pir.make_queries(3, state, prg);
   fuzz_message(q0, [&](const Bytes& q) { (void)pir.answer(db, q); }, "xor-query");
+}
+
+// --- truncation-at-every-offset sweep ---------------------------------------
+//
+// fuzz_message only tries one truncation point (half the message); an
+// adversarial sender can cut the stream anywhere, including mid-varint and
+// mid-length-prefix. Every prefix of a valid message must be rejected with a
+// typed spfe::Error (or, for self-delimiting formats, parse to garbage) —
+// never a foreign exception like std::length_error or std::bad_alloc from a
+// count-driven resize that was never bounds-checked.
+
+void truncation_sweep(const Bytes& valid, const std::function<void(const Bytes&)>& handler,
+                      const std::string& what) {
+  ASSERT_FALSE(valid.empty()) << what;
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    const Bytes prefix(valid.begin(), valid.begin() + static_cast<std::ptrdiff_t>(len));
+    try {
+      handler(prefix);
+    } catch (const Error&) {
+      // Typed rejection is the expected failure mode.
+    } catch (const std::exception& e) {
+      FAIL() << what << " truncated to " << len << " bytes: foreign exception: " << e.what();
+    }
+  }
+}
+
+TEST(TruncationSweep, GarbledCircuitEveryPrefix) {
+  circuits::BooleanCircuit c(2);
+  c.add_output(c.and_gate(0, 1));
+  crypto::Prg prg("ts1");
+  const Bytes valid = mpc::garble(c, prg).garbled.serialize();
+  truncation_sweep(valid, [&](const Bytes& b) { (void)mpc::GarbledCircuit::deserialize(b); },
+                   "gc-bytes");
+}
+
+TEST(TruncationSweep, YaoServerResponseEveryPrefix) {
+  circuits::BooleanCircuit c(2);
+  c.add_output(c.and_gate(0, 1));
+  const ot::SchnorrGroup group = ot::SchnorrGroup::rfc_like_512();
+  crypto::Prg cprg("ts2c"), sprg("ts2s");
+  mpc::YaoEvaluatorClient client(c, {true}, group);
+  const Bytes query = client.query(cprg);
+  mpc::YaoGarblerServer server(c, {false}, group);
+  const Bytes valid = server.respond(query, sprg);
+  truncation_sweep(valid, [&](const Bytes& resp) { (void)client.decode(resp); },
+                   "yao-response");
+}
+
+TEST(TruncationSweep, CpirAnswerEveryPrefix) {
+  crypto::Prg prg("ts3");
+  const auto sk = he::paillier_keygen(prg, 256);
+  const pir::PaillierPir pir(sk.public_key(), 16, 2);
+  std::vector<std::uint64_t> db(16, 9);
+  pir::PaillierPir::ClientState state;
+  const Bytes valid = pir.answer_u64(db, pir.make_query(5, state, prg), prg);
+  truncation_sweep(valid, [&](const Bytes& a) { (void)pir.decode_u64(sk, a); }, "cpir-answer");
+}
+
+TEST(TruncationSweep, ItPirQueryEveryPrefix) {
+  const field::Fp64 f(field::Fp64::kMersenne61);
+  const pir::PolyItPir pir(f, 64, 7, 1);
+  std::vector<std::uint64_t> db(64, 5);
+  crypto::Prg prg("ts4");
+  pir::PolyItPir::ClientState state;
+  const Bytes valid = pir.make_queries(3, state, prg)[0];
+  truncation_sweep(valid, [&](const Bytes& q) { (void)pir.answer(0, db, q, nullptr); },
+                   "itpir-query");
+}
+
+// --- adversarial element counts ---------------------------------------------
+//
+// Regression for the Reader::varint_count hardening: a message whose count
+// field claims ~2^60 elements used to reach vector::resize/reserve and throw
+// std::length_error or std::bad_alloc (foreign exceptions — or worse, an
+// allocation attempt sized by the adversary). Every count must now be checked
+// against the remaining payload and rejected as SerializationError.
+
+TEST(Robustness, GarbledCircuitRejectsHugeTableCount) {
+  Writer w;
+  w.varint(std::uint64_t(1) << 60);  // claims ~10^18 garbled tables
+  EXPECT_THROW((void)mpc::GarbledCircuit::deserialize(w.data()), SerializationError);
+}
+
+TEST(Robustness, GarbledCircuitRejectsHugeConstLabelCount) {
+  Writer w;
+  w.varint(0);                       // zero tables (valid)
+  w.varint(std::uint64_t(1) << 60);  // huge const-label count
+  EXPECT_THROW((void)mpc::GarbledCircuit::deserialize(w.data()), SerializationError);
+}
+
+TEST(Robustness, YaoResponseRejectsHugeServerLabelCount) {
+  circuits::BooleanCircuit c(2);
+  c.add_output(c.and_gate(0, 1));
+  const ot::SchnorrGroup group = ot::SchnorrGroup::rfc_like_512();
+  crypto::Prg cprg("hc1");
+  mpc::YaoEvaluatorClient client(c, {true}, group);
+  (void)client.query(cprg);
+  crypto::Prg gprg("hc2");
+  const Bytes gc_bytes = mpc::garble(c, gprg).garbled.serialize();
+  Writer w;
+  w.bytes({});                       // empty OT answer (parsed before use)
+  w.bytes(gc_bytes);                 // valid garbled circuit
+  w.varint(std::uint64_t(1) << 60);  // huge server-label count
+  EXPECT_THROW((void)client.decode(w.data()), SerializationError);
+}
+
+TEST(Robustness, CpirAnswerRejectsHugeCiphertextCount) {
+  crypto::Prg prg("hc3");
+  const auto sk = he::paillier_keygen(prg, 256);
+  const pir::PaillierPir pir(sk.public_key(), 16, 2);
+  Writer w;
+  w.varint(std::uint64_t(1) << 60);  // claims ~10^18 ciphertexts
+  EXPECT_THROW((void)pir.decode_u64(sk, w.data()), SerializationError);
 }
 
 // --- systematic single-bit-flip sweep ---------------------------------------

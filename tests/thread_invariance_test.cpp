@@ -5,12 +5,14 @@
 // and diff the results.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
 
 #include "common/parallel.h"
 #include "crypto/prg.h"
 #include "he/paillier.h"
 #include "net/network.h"
+#include "obs/obs.h"
 #include "pir/cpir.h"
 #include "spfe/multiserver.h"
 
@@ -168,6 +170,108 @@ TEST_F(ThreadInvarianceTest, MultiServerAnswerBytesAreThreadCountInvariant) {
   for (const std::size_t threads : kThreadCounts) {
     common::ThreadPool::set_global_threads(threads);
     EXPECT_EQ(transcript(), serial) << "threads " << threads;
+  }
+}
+
+// --- trace determinism -------------------------------------------------------
+//
+// The observability layer's contract mirrors the transcript contract: for a
+// fixed seed, the span tree (names, nesting, notes, per-span op deltas) and
+// the global op-counter totals are identical at every SPFE_THREADS setting.
+// Only timing may differ. This holds because spans are opened exclusively on
+// the protocol-driving thread and parallel_for is fork-join, so every span
+// boundary is a deterministic program point.
+
+struct SpanShape {
+  std::string name;
+  std::size_t parent = 0;
+  std::size_t depth = 0;
+  std::string note;
+  obs::OpCounts ops{};
+
+  bool operator==(const SpanShape&) const = default;
+};
+
+struct TraceShape {
+  std::vector<SpanShape> spans;
+  obs::OpCounts totals{};
+};
+
+TraceShape capture_trace(const std::function<void()>& run) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.set_enabled(true);
+  tracer.reset();
+  run();
+  TraceShape shape;
+  for (const obs::SpanRecord& s : tracer.spans()) {
+    EXPECT_FALSE(s.open()) << "span " << s.name << " left open";
+    shape.spans.push_back({s.name, s.parent, s.depth, s.note, s.delta()});
+  }
+  shape.totals = tracer.totals();
+  tracer.set_enabled(false);
+  tracer.reset();
+  return shape;
+}
+
+void expect_same_trace(const TraceShape& got, const TraceShape& want, std::size_t threads) {
+  ASSERT_EQ(got.spans.size(), want.spans.size()) << "threads " << threads;
+  for (std::size_t i = 0; i < want.spans.size(); ++i) {
+    EXPECT_EQ(got.spans[i].name, want.spans[i].name) << "span " << i << ", threads " << threads;
+    EXPECT_EQ(got.spans[i].parent, want.spans[i].parent)
+        << "span " << i << " (" << want.spans[i].name << "), threads " << threads;
+    EXPECT_EQ(got.spans[i].depth, want.spans[i].depth)
+        << "span " << i << " (" << want.spans[i].name << "), threads " << threads;
+    EXPECT_EQ(got.spans[i].note, want.spans[i].note)
+        << "span " << i << " (" << want.spans[i].name << "), threads " << threads;
+    for (std::size_t op = 0; op < obs::kNumOps; ++op) {
+      EXPECT_EQ(got.spans[i].ops[op], want.spans[i].ops[op])
+          << "span " << i << " (" << want.spans[i].name << "), op "
+          << obs::op_name(static_cast<obs::Op>(op)) << ", threads " << threads;
+    }
+  }
+  for (std::size_t op = 0; op < obs::kNumOps; ++op) {
+    EXPECT_EQ(got.totals[op], want.totals[op])
+        << "total " << obs::op_name(static_cast<obs::Op>(op)) << ", threads " << threads;
+  }
+}
+
+TEST_F(ThreadInvarianceTest, PirTraceIsThreadCountInvariant) {
+  crypto::Prg prg("ti-trace-pir-key");
+  const he::PaillierPrivateKey sk = he::paillier_keygen(prg, 256);
+  common::ThreadPool::set_global_threads(1);
+  const TraceShape serial = capture_trace([&] { (void)run_pir(sk, 2); });
+  // The cPIR run records at least query/answer/fold/decode spans with ops.
+  ASSERT_FALSE(serial.spans.empty());
+  bool any_ops = false;
+  for (const std::uint64_t c : serial.totals) any_ops |= c != 0;
+  EXPECT_TRUE(any_ops);
+  for (const std::size_t threads : kThreadCounts) {
+    common::ThreadPool::set_global_threads(threads);
+    expect_same_trace(capture_trace([&] { (void)run_pir(sk, 2); }), serial, threads);
+  }
+}
+
+TEST_F(ThreadInvarianceTest, MultiServerTraceIsThreadCountInvariant) {
+  const field::Fp64 field(field::Fp64::kMersenne61);
+  constexpr std::size_t kN = 256;
+  std::vector<std::uint64_t> db(kN);
+  for (std::size_t i = 0; i < kN; ++i) db[i] = (i * 19 + 11) % 4099;
+  const std::size_t k = protocols::MultiServerSumSpfe::min_servers(kN, 1);
+  const protocols::MultiServerSumSpfe proto(field, kN, 3, k, 1);
+  const std::vector<std::size_t> indices = {2, 100, 255};
+
+  common::ThreadPool::set_global_threads(1);
+  const TraceShape serial =
+      capture_trace([&] { (void)run_multiserver(proto, db, indices); });
+  ASSERT_FALSE(serial.spans.empty());
+  // The span tree must contain the multiserver phase structure.
+  bool saw_run = false;
+  for (const SpanShape& s : serial.spans) saw_run |= s.name == "multiserver.run";
+  EXPECT_TRUE(saw_run);
+  for (const std::size_t threads : kThreadCounts) {
+    common::ThreadPool::set_global_threads(threads);
+    expect_same_trace(capture_trace([&] { (void)run_multiserver(proto, db, indices); }),
+                      serial, threads);
   }
 }
 
