@@ -8,7 +8,10 @@
 //   (3) multi-server IT PIR is computationally far cheaper than cPIR and
 //       has lower communication at practical sizes;
 //   (4) the multi-exponentiation fold kernel vs the naive per-row fold
-//       (same bytes, shared squaring chains + window tables).
+//       (same bytes, shared squaring chains + window tables);
+//   (5) the offline/online split for client query generation — a warm
+//       randomness pool (he/precomp.h) turns every query encryption into
+//       one modular multiplication, with a byte-identical transcript.
 //
 // `--smoke` shrinks every size so CI can run the full flow in seconds.
 // Emits BENCH_spir.json (see bench_util.h JsonReport) next to the tables.
@@ -17,6 +20,7 @@
 #include "bench_util.h"
 #include "common/parallel.h"
 #include "he/paillier.h"
+#include "he/precomp.h"
 #include "pir/batch_pir.h"
 #include "pir/cpir.h"
 #include "pir/itpir.h"
@@ -55,6 +59,89 @@ int main(int argc, char** argv) {
                  got == db[kN / 3] ? "yes" : "WRONG"});
       json.add("cpir_answer_d" + std::to_string(depth), kN, server_ms * 1e6,
                query.size() + answer.size());
+    }
+    table.print();
+  }
+
+  // --- offline/online query generation ---------------------------------------
+  // The PR 7 acceptance gate: client query generation with a warm randomness
+  // pool (all factors precomputed offline) vs a cold pool (every draw is a
+  // synchronous miss). The transcript must not depend on warmth.
+  std::printf("\n--- client query generation: cold vs warm randomness pool ---\n");
+  {
+    bench::Table table({"scheme", "n", "pool", "client ms", "speedup", "identical"});
+
+    // Single-item depth-1 cPIR at full key size. Every PRG draw in
+    // make_query is encryption randomness, so the pooled transcripts are
+    // byte-identical to the plain-Prg one at the same seed (the precomp.h
+    // determinism contract), warm or cold.
+    {
+      const std::size_t kN = smoke ? 256 : 4096;
+      const he::PaillierPrivateKey qsk = smoke ? sk : he::paillier_keygen(prg, 1024);
+      const he::PaillierPublicKey qpk = qsk.public_key();
+      const pir::PaillierPir p(qpk, kN, 1);
+
+      pir::PaillierPir::ClientState st_plain, st_cold, st_warm;
+      crypto::Prg uprg("e5-qgen");
+      const Bytes q_plain = p.make_query(kN / 3, st_plain, uprg);
+
+      he::PoolConfig cfg;
+      cfg.capacity = kN;  // a depth-1 query over n items consumes n factors
+      he::PaillierRandomnessPool cold(qpk, crypto::Prg("e5-qgen"), cfg);
+      bench::Stopwatch sw_cold;
+      const Bytes q_cold = p.make_query(kN / 3, st_cold, cold);
+      const double cold_ms = sw_cold.ms();
+
+      he::PaillierRandomnessPool warm(qpk, crypto::Prg("e5-qgen"), cfg);
+      warm.refill();  // offline phase, untimed
+      bench::Stopwatch sw_warm;
+      const Bytes q_warm = p.make_query(kN / 3, st_warm, warm);
+      const double warm_ms = sw_warm.ms();
+
+      const bool identical = q_plain == q_cold && q_plain == q_warm;
+      const std::string scheme = "cPIR d1 (" + std::to_string(qpk.n().bit_length()) + "b)";
+      table.add({scheme, std::to_string(kN), "cold", bench::fmt("%.0f", cold_ms), "1.00x",
+                 identical ? "yes" : "NO (BUG)"});
+      table.add({scheme, std::to_string(kN), "warm", bench::fmt("%.1f", warm_ms),
+                 bench::fmt("%.1fx", cold_ms / warm_ms), identical ? "yes" : "NO (BUG)"});
+      json.add("cpir_query_gen_cold", kN, cold_ms * 1e6, q_cold.size());
+      json.add("cpir_query_gen_warm", kN, warm_ms * 1e6, q_warm.size());
+    }
+
+    // Batch SPIR query. The caller Prg also drives cuckoo seed selection
+    // and eviction, so pooled differs from unpooled — but the transcript
+    // depends only on the two seeds, never on warmth: cold-pool and
+    // warm-pool bytes must match, and the warm run must be all hits.
+    {
+      const std::size_t n = smoke ? 256 : 1024;
+      const std::size_t m = smoke ? 4 : 16;
+      const pir::CuckooBatchPir p(sk.public_key(), n, m, 1);
+      std::vector<std::size_t> indices;
+      for (std::size_t j = 0; j < m; ++j) indices.push_back((j * 919 + 77) % n);
+
+      pir::CuckooBatchPir::ClientState st_cold, st_warm;
+      he::PaillierRandomnessPool cold(sk.public_key(), crypto::Prg("e5-qgen-pool"), {});
+      crypto::Prg cprg("e5-qgen-batch");
+      bench::Stopwatch sw_cold;
+      const Bytes q_cold = p.make_query(indices, st_cold, cprg, &cold);
+      const double cold_ms = sw_cold.ms();
+
+      he::PoolConfig wcfg;
+      wcfg.capacity = static_cast<std::size_t>(cold.stats().draws);
+      he::PaillierRandomnessPool warm(sk.public_key(), crypto::Prg("e5-qgen-pool"), wcfg);
+      warm.refill();
+      crypto::Prg wprg("e5-qgen-batch");
+      bench::Stopwatch sw_warm;
+      const Bytes q_warm = p.make_query(indices, st_warm, wprg, &warm);
+      const double warm_ms = sw_warm.ms();
+
+      const bool identical = q_cold == q_warm && warm.stats().misses == 0;
+      table.add({"batch SPIR d1", std::to_string(n), "cold", bench::fmt("%.0f", cold_ms),
+                 "1.00x", identical ? "yes" : "NO (BUG)"});
+      table.add({"batch SPIR d1", std::to_string(n), "warm", bench::fmt("%.1f", warm_ms),
+                 bench::fmt("%.1fx", cold_ms / warm_ms), identical ? "yes" : "NO (BUG)"});
+      json.add("spir_query_gen_cold", n, cold_ms * 1e6, q_cold.size());
+      json.add("spir_query_gen_warm", n, warm_ms * 1e6, q_warm.size());
     }
     table.print();
   }

@@ -51,17 +51,22 @@ std::vector<MontVec> build_window_table(const MontgomeryContext& ctx, const Mont
   return table;
 }
 
-// One column of Straus interleaving: a single squaring chain shared by all
-// bases, window lookups from the (column-shared) per-base tables. An empty
-// accumulator stands for the identity so leading zero windows are free.
+// One column of Straus interleaving over the base range [i0, i1): a single
+// squaring chain shared by the range's bases, window lookups from the
+// (column-shared) per-base tables. An empty accumulator stands for the
+// identity so leading zero windows are free. Ranges let a wide-count,
+// narrow-column fold (the depth >= 2 cPIR levels) split one column across
+// several partitions; partition products combine exactly because modular
+// multiplication is associative.
 MontVec straus_column(const MontgomeryContext& ctx, const std::vector<std::vector<MontVec>>& tables,
-                      std::span<const BigInt> bases_exps_col, std::size_t windows, unsigned w) {
+                      std::span<const BigInt> bases_exps_col, std::size_t windows, unsigned w,
+                      std::size_t i0, std::size_t i1) {
   MontVec acc;
   for (std::size_t j = windows; j-- > 0;) {
     if (!acc.empty()) {
       for (unsigned s = 0; s < w; ++s) acc = ctx.mont_sqr(acc);
     }
-    for (std::size_t i = 0; i < bases_exps_col.size(); ++i) {
+    for (std::size_t i = i0; i < i1; ++i) {
       if (tables[i].empty()) continue;  // base unused (all-zero exponent row)
       const unsigned d = digit_at(bases_exps_col[i], j, w);
       if (d == 0) continue;
@@ -75,7 +80,8 @@ MontVec straus_column(const MontgomeryContext& ctx, const std::vector<std::vecto
 // buckets by digit; sum_d d * bucket[d] (in the exponent) is evaluated with
 // the running-product trick in at most 2 * (2^w - 1) multiplications.
 MontVec pippenger_column(const MontgomeryContext& ctx, const std::vector<MontVec>& mont_bases,
-                         std::span<const BigInt> bases_exps_col, std::size_t windows, unsigned w) {
+                         std::span<const BigInt> bases_exps_col, std::size_t windows, unsigned w,
+                         std::size_t i0, std::size_t i1) {
   MontVec acc;
   std::vector<MontVec> bucket(std::size_t(1) << w);
   for (std::size_t j = windows; j-- > 0;) {
@@ -83,7 +89,7 @@ MontVec pippenger_column(const MontgomeryContext& ctx, const std::vector<MontVec
       for (unsigned s = 0; s < w; ++s) acc = ctx.mont_sqr(acc);
     }
     for (auto& b : bucket) b.clear();
-    for (std::size_t i = 0; i < bases_exps_col.size(); ++i) {
+    for (std::size_t i = i0; i < i1; ++i) {
       if (mont_bases[i].empty()) continue;
       const unsigned d = digit_at(bases_exps_col[i], j, w);
       if (d == 0) continue;
@@ -101,6 +107,34 @@ MontVec pippenger_column(const MontgomeryContext& ctx, const std::vector<MontVec
     if (!wsum.empty()) acc = acc.empty() ? std::move(wsum) : ctx.mont_mul(acc, wsum);
   }
   return acc;
+}
+
+// Partition count for the column fan-out. A depth >= 2 cPIR fold collapses
+// to a handful of columns at the upper levels (e.g. 3 columns at n = 4096,
+// depth 2), which used to cap the parallelism at `columns` however many
+// workers the pool has. Splitting each column's base range into `parts`
+// keeps every worker busy; the per-partition products recombine exactly
+// (modular multiplication is associative), so the output bytes and the op
+// counters are identical at every partition count.
+std::size_t column_partitions(std::size_t count, std::size_t columns) {
+  const std::size_t threads = common::ThreadPool::global().thread_count();
+  if (columns == 0 || count == 0 || columns >= threads) return 1;
+  return std::min(count, (threads + columns - 1) / columns);
+}
+
+// Folds each column's partition products (Montgomery form; empty = identity)
+// in ascending partition order.
+void combine_partials(const MontgomeryContext& ctx, std::vector<MontVec>& partials,
+                      std::size_t columns, std::size_t parts, std::vector<BigInt>& out) {
+  common::parallel_for(columns, [&](std::size_t c) {
+    MontVec acc;
+    for (std::size_t p = 0; p < parts; ++p) {
+      MontVec& part = partials[c * parts + p];
+      if (part.empty()) continue;
+      acc = acc.empty() ? std::move(part) : ctx.mont_mul(acc, part);
+    }
+    if (!acc.empty()) out[c] = ctx.from_mont(acc);
+  });
 }
 
 }  // namespace
@@ -184,6 +218,15 @@ std::vector<BigInt> multi_pow_matrix(const MontgomeryContext& ctx, std::span<con
                                                            : obs::Op::kMultiexpPippenger);
   const unsigned w = plan.window;
   const std::size_t windows = (max_bits + w - 1) / w;
+  const std::size_t parts = column_partitions(count, columns);
+  std::vector<MontVec> partials(columns * parts);
+  const auto cell_range = [&](std::size_t cell, std::size_t& c, std::size_t& i0,
+                              std::size_t& i1) {
+    c = cell / parts;
+    const std::size_t p = cell % parts;
+    i0 = p * count / parts;
+    i1 = (p + 1) * count / parts;
+  };
 
   if (plan.kind == detail::MultiExpKind::kFixedBase) {
     // Comb tables per base, shared read-only across the column fan-out.
@@ -191,15 +234,18 @@ std::vector<BigInt> multi_pow_matrix(const MontgomeryContext& ctx, std::span<con
     common::parallel_for(count, [&](std::size_t i) {
       if (used[i]) tables[i] = std::make_unique<FixedBasePowTable>(ctx, bases[i], max_bits);
     });
-    common::parallel_for(columns, [&](std::size_t c) {
+    common::parallel_for(columns * parts, [&](std::size_t cell) {
+      std::size_t c, i0, i1;
+      cell_range(cell, c, i0, i1);
       MontVec acc;
-      for (std::size_t i = 0; i < count; ++i) {
+      for (std::size_t i = i0; i < i1; ++i) {
         if (!used[i] || exps[i][c].is_zero()) continue;
         MontVec p = tables[i]->pow_mont(exps[i][c]);
         acc = acc.empty() ? std::move(p) : ctx.mont_mul(acc, p);
       }
-      if (!acc.empty()) out[c] = ctx.from_mont(acc);
+      partials[cell] = std::move(acc);
     });
+    combine_partials(ctx, partials, columns, parts, out);
     return out;
   }
 
@@ -213,21 +259,25 @@ std::vector<BigInt> multi_pow_matrix(const MontgomeryContext& ctx, std::span<con
     common::parallel_for(count, [&](std::size_t i) {
       if (used[i]) tables[i] = build_window_table(ctx, mont_bases[i], w);
     });
-    common::parallel_for(columns, [&](std::size_t c) {
+    common::parallel_for(columns * parts, [&](std::size_t cell) {
+      std::size_t c, i0, i1;
+      cell_range(cell, c, i0, i1);
       std::vector<BigInt> col(count);
-      for (std::size_t i = 0; i < count; ++i) col[i] = exps[i][c];
-      const MontVec acc = straus_column(ctx, tables, col, windows, w);
-      if (!acc.empty()) out[c] = ctx.from_mont(acc);
+      for (std::size_t i = i0; i < i1; ++i) col[i] = exps[i][c];
+      partials[cell] = straus_column(ctx, tables, col, windows, w, i0, i1);
     });
+    combine_partials(ctx, partials, columns, parts, out);
     return out;
   }
 
-  common::parallel_for(columns, [&](std::size_t c) {
+  common::parallel_for(columns * parts, [&](std::size_t cell) {
+    std::size_t c, i0, i1;
+    cell_range(cell, c, i0, i1);
     std::vector<BigInt> col(count);
-    for (std::size_t i = 0; i < count; ++i) col[i] = exps[i][c];
-    const MontVec acc = pippenger_column(ctx, mont_bases, col, windows, w);
-    if (!acc.empty()) out[c] = ctx.from_mont(acc);
+    for (std::size_t i = i0; i < i1; ++i) col[i] = exps[i][c];
+    partials[cell] = pippenger_column(ctx, mont_bases, col, windows, w, i0, i1);
   });
+  combine_partials(ctx, partials, columns, parts, out);
   return out;
 }
 

@@ -40,12 +40,24 @@ BigInt PaillierPublicKey::encrypt(const BigInt& m, crypto::Prg& prg) const {
 }
 
 BigInt PaillierPublicKey::encrypt_with_randomness(const BigInt& m, const BigInt& r) const {
+  return encrypt_with_factor(m, encryption_factor(r));
+}
+
+BigInt PaillierPublicKey::encryption_factor(const BigInt& r) const {
+  return mont_n2_.pow(r, n_);
+}
+
+BigInt PaillierPublicKey::encrypt_with_factor(const BigInt& m, const BigInt& rn) const {
   obs::count(obs::Op::kPaillierEncrypt);
   const BigInt m_red = m.mod_floor(n_);
   // (1 + N)^m = 1 + m*N (mod N^2)
   const BigInt gm = (BigInt(1) + m_red * n_).mod_floor(n2_);
-  const BigInt rn = mont_n2_.pow(r, n_);
   return bignum::mod_mul(gm, rn, n2_);
+}
+
+BigInt PaillierPublicKey::rerandomize_with_factor(const BigInt& c, const BigInt& rn) const {
+  obs::count(obs::Op::kPaillierRerandomize);
+  return bignum::mod_mul(c, rn, n2_);
 }
 
 BigInt PaillierPublicKey::add(const BigInt& ca, const BigInt& cb) const {
@@ -91,8 +103,7 @@ BigInt PaillierPublicKey::rerandomize(const BigInt& c, crypto::Prg& prg) const {
 }
 
 BigInt PaillierPublicKey::rerandomize_with_randomness(const BigInt& c, const BigInt& r) const {
-  obs::count(obs::Op::kPaillierRerandomize);
-  return bignum::mod_mul(c, mont_n2_.pow(r, n_), n2_);
+  return rerandomize_with_factor(c, encryption_factor(r));
 }
 
 void PaillierPublicKey::rerandomize_all(std::span<BigInt> cts, crypto::Prg& prg) const {

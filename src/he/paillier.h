@@ -44,6 +44,18 @@ class PaillierPublicKey {
   bignum::BigInt encrypt_with_randomness(const bignum::BigInt& m,
                                          const bignum::BigInt& r) const;
 
+  // The message-independent encryption factor r^N mod N^2 — the entire
+  // modexp cost of an encryption. Precomputable offline (he/precomp.h).
+  bignum::BigInt encryption_factor(const bignum::BigInt& r) const;
+  // Encrypts m with a precomputed factor rn = encryption_factor(r): one
+  // modular multiplication. encrypt_with_factor(m, encryption_factor(r)) ==
+  // encrypt_with_randomness(m, r).
+  bignum::BigInt encrypt_with_factor(const bignum::BigInt& m,
+                                     const bignum::BigInt& rn) const;
+  // Rerandomization with a precomputed factor: c * rn mod N^2.
+  bignum::BigInt rerandomize_with_factor(const bignum::BigInt& c,
+                                         const bignum::BigInt& rn) const;
+
   // Uniform randomness in [1, N) for encryption/rerandomization; gcd(r, N)
   // is 1 except with negligible probability (a violation would factor N).
   bignum::BigInt random_unit(crypto::Prg& prg) const;

@@ -88,6 +88,11 @@ const char* op_name(Op op) {
     case Op::kMultiexpStraus: return "multiexp_straus";
     case Op::kMultiexpPippenger: return "multiexp_pippenger";
     case Op::kMultiexpFixedBase: return "multiexp_fixed_base";
+    case Op::kPoolHit: return "pool_hit";
+    case Op::kPoolMiss: return "pool_miss";
+    case Op::kPoolRefill: return "pool_refill";
+    case Op::kFbTableBuild: return "fbtable_build";
+    case Op::kFbTableHit: return "fbtable_hit";
   }
   return "unknown";
 }

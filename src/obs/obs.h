@@ -55,8 +55,13 @@ enum class Op : std::uint8_t {
   kMultiexpStraus,      // multi-exp planner picked the Straus kernel
   kMultiexpPippenger,   // multi-exp planner picked the Pippenger kernel
   kMultiexpFixedBase,   // multi-exp planner picked the fixed-base comb
+  kPoolHit,             // randomness pool draw served from stock
+  kPoolMiss,            // pool draw computed synchronously (pool empty)
+  kPoolRefill,          // offline pool refill batches completed
+  kFbTableBuild,        // fixed-base table cache: tables built
+  kFbTableHit,          // fixed-base table cache: lookups served from cache
 };
-inline constexpr std::size_t kNumOps = 14;
+inline constexpr std::size_t kNumOps = 19;
 
 const char* op_name(Op op);
 

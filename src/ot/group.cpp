@@ -33,11 +33,18 @@ SchnorrGroup::SchnorrGroup(BigInt p, BigInt g)
   if (bignum::jacobi(g_, p_) != 1) {
     throw InvalidArgument("SchnorrGroup: generator not a quadratic residue");
   }
+  // Exponents are drawn from [0, q); the cached comb covers that width.
+  g_table_ = he::FixedBaseCache::global().get(p_, g_, q_.bit_length());
 }
 
 BigInt SchnorrGroup::exp(const BigInt& base, const BigInt& e) const { return mont_.pow(base, e); }
 
-BigInt SchnorrGroup::exp_g(const BigInt& e) const { return mont_.pow(g_, e); }
+BigInt SchnorrGroup::exp_g(const BigInt& e) const {
+  if (!e.is_negative() && e.bit_length() <= g_table_->max_exp_bits()) {
+    return g_table_->pow(e);
+  }
+  return mont_.pow(g_, e);
+}
 
 BigInt SchnorrGroup::mul(const BigInt& a, const BigInt& b) const {
   return bignum::mod_mul(a, b, p_);

@@ -8,11 +8,13 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
 #include "bignum/bigint.h"
 #include "bignum/modarith.h"
 #include "common/bytes.h"
 #include "crypto/prg.h"
+#include "he/precomp.h"
 
 namespace spfe::ot {
 
@@ -27,7 +29,13 @@ class SchnorrGroup {
   std::size_t element_bytes() const { return (p_.bit_length() + 7) / 8; }
 
   bignum::BigInt exp(const bignum::BigInt& base, const bignum::BigInt& e) const;
-  bignum::BigInt exp_g(const bignum::BigInt& e) const;  // g^e
+  // g^e via the process-wide fixed-base comb table (he/precomp.h), built
+  // once per (p, g) and shared by every group instance — Naor–Pinkas setup
+  // does many g-exponentiations with secret exponents against one fixed
+  // generator. Falls back to the generic constant-time pow for exponents
+  // wider than q (hash_to_group preimages never are). Byte-identical to
+  // exp(g, e) either way.
+  bignum::BigInt exp_g(const bignum::BigInt& e) const;
   bignum::BigInt mul(const bignum::BigInt& a, const bignum::BigInt& b) const;
   bignum::BigInt inv(const bignum::BigInt& a) const;
   bool is_element(const bignum::BigInt& a) const;  // in the QR subgroup
@@ -49,6 +57,7 @@ class SchnorrGroup {
   bignum::BigInt q_;
   bignum::BigInt g_;
   bignum::MontgomeryContext mont_;
+  std::shared_ptr<const he::CtFixedBaseTable> g_table_;  // cached comb for g
 };
 
 }  // namespace spfe::ot

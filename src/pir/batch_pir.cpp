@@ -109,6 +109,12 @@ std::vector<std::size_t> CuckooBatchPir::place(const CuckooParams& params,
 
 Bytes CuckooBatchPir::make_query(const std::vector<std::size_t>& indices, ClientState& state,
                                  crypto::Prg& prg) const {
+  return make_query(indices, state, prg, nullptr);
+}
+
+Bytes CuckooBatchPir::make_query(const std::vector<std::size_t>& indices, ClientState& state,
+                                 crypto::Prg& prg, he::PaillierRandomnessPool* pool) const {
+  if (pool != nullptr && !(pool->public_key() == pk_)) pool = nullptr;
   if (indices.size() != m_) throw InvalidArgument("CuckooBatchPir: wrong batch size");
   for (const std::size_t i : indices) {
     if (i >= params_.n) throw InvalidArgument("CuckooBatchPir: index out of range");
@@ -149,7 +155,8 @@ Bytes CuckooBatchPir::make_query(const std::vector<std::size_t>& indices, Client
       if (it == contents.end()) throw ProtocolError("CuckooBatchPir: placement inconsistent");
       position = static_cast<std::size_t>(it - contents.begin());
     }
-    w.bytes(bucket_pir.make_query(position, state.pir_states[b], prg));
+    w.bytes(pool != nullptr ? bucket_pir.make_query(position, state.pir_states[b], *pool)
+                            : bucket_pir.make_query(position, state.pir_states[b], prg));
   }
   return w.take();
 }

@@ -59,6 +59,21 @@ std::size_t PaillierPir::chunk_bytes() const {
 
 Bytes PaillierPir::make_query(std::size_t /*secret*/ index, ClientState& state,
                               crypto::Prg& prg) const {
+  return make_query_impl(index, state,
+                         [&](const BigInt& bit) { return pk_.encrypt(bit, prg); });
+}
+
+Bytes PaillierPir::make_query(std::size_t /*secret*/ index, ClientState& state,
+                              he::PaillierRandomnessPool& pool) const {
+  if (!(pool.public_key() == pk_)) {
+    throw InvalidArgument("PaillierPir: pool is for a different public key");
+  }
+  return make_query_impl(index, state,
+                         [&](const BigInt& bit) { return pool.encrypt(bit); });
+}
+
+Bytes PaillierPir::make_query_impl(std::size_t /*secret*/ index, ClientState& state,
+                                   const std::function<BigInt(const BigInt&)>& encrypt) const {
   if (index >= n_) throw InvalidArgument("PaillierPir: index out of range");
   SPFE_OBS_SPAN("cpir.make_query");
   state.positions.clear();
@@ -84,7 +99,7 @@ Bytes PaillierPir::make_query(std::size_t /*secret*/ index, ClientState& state,
   Writer w;
   for (std::size_t j = 0; j < dims_.size(); ++j) {
     for (std::size_t r = 0; r < dims_[j]; ++r) {
-      w.raw(pk_.encrypt(BigInt(bits[j][r]), prg).to_bytes_be_padded(pk_.ciphertext_bytes()));
+      w.raw(encrypt(BigInt(bits[j][r])).to_bytes_be_padded(pk_.ciphertext_bytes()));
     }
   }
   return w.take();

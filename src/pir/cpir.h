@@ -18,12 +18,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "bignum/bigint.h"
 #include "common/bytes.h"
 #include "crypto/prg.h"
 #include "he/paillier.h"
+#include "he/precomp.h"
 
 namespace spfe::pir {
 
@@ -52,6 +54,12 @@ class PaillierPir {
 
   // Client: encrypted selector per dimension (sum(dims) ciphertexts).
   Bytes make_query(std::size_t index, ClientState& state, crypto::Prg& prg) const;
+  // Pooled client query: encryption factors come from the precomputation
+  // pool (he/precomp.h). Byte-identical to the Prg overload when the pool's
+  // stream is seeded with the same seed, whatever the pool's warmth. The
+  // pool must hold factors for this PIR's public key.
+  Bytes make_query(std::size_t index, ClientState& state,
+                   he::PaillierRandomnessPool& pool) const;
 
   // Server: database of u64 values (must each be < N).
   Bytes answer_u64(std::span<const std::uint64_t> database, BytesView query,
@@ -66,6 +74,10 @@ class PaillierPir {
                      BytesView answer) const;
 
  private:
+  // Shared query construction; `encrypt` supplies E(bit) ciphertexts (from
+  // a Prg or a randomness pool, both in stream order).
+  Bytes make_query_impl(std::size_t index, ClientState& state,
+                        const std::function<bignum::BigInt(const bignum::BigInt&)>& encrypt) const;
   // Core fold over a matrix of plaintext chunks per item.
   Bytes answer_chunks(std::vector<std::vector<bignum::BigInt>> items, BytesView query,
                       crypto::Prg& prg) const;

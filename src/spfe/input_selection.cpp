@@ -67,6 +67,20 @@ BigInt read_ct(Reader& r, const he::PaillierPublicKey& pk) {
   return BigInt::from_bytes_be(r.raw(pk.ciphertext_bytes()));
 }
 
+// The pool usable for encrypting under `pk`, or null (meaning: draw from
+// the online PRG). A pool keyed differently — e.g. a client-key pool at a
+// site that encrypts under the server's deserialized key — never serves.
+he::PaillierRandomnessPool* pool_for(const he::ClientPrecomp& precomp,
+                                     const he::PaillierPublicKey& pk) {
+  return (precomp.paillier != nullptr && precomp.paillier->public_key() == pk)
+             ? precomp.paillier
+             : nullptr;
+}
+
+he::GmRandomnessPool* gm_pool_for(const he::ClientPrecomp& precomp, const he::GmPublicKey& pk) {
+  return (precomp.gm != nullptr && precomp.gm->public_key() == pk) ? precomp.gm : nullptr;
+}
+
 }  // namespace
 
 SelectedShares input_selection_per_item(net::StarNetwork& net, std::size_t server_id,
@@ -75,19 +89,24 @@ SelectedShares input_selection_per_item(net::StarNetwork& net, std::size_t serve
                                         std::uint64_t modulus,
                                         const he::PaillierPrivateKey& client_sk,
                                         std::size_t pir_depth, crypto::Prg& client_prg,
-                                        crypto::Prg& server_prg) {
+                                        crypto::Prg& server_prg,
+                                        const he::ClientPrecomp& precomp) {
   SPFE_OBS_SPAN("input_selection.per_item");
   check_inputs(database, indices, modulus);
   const std::size_t m = indices.size();
   const std::size_t n = database.size();
   const pir::PaillierPir spir(client_sk.public_key(), n, pir_depth);
+  he::PaillierRandomnessPool* pool = pool_for(precomp, client_sk.public_key());
 
-  // Client: m independent SPIR queries in one message.
+  // Client: m independent SPIR queries in one message. The client PRG's
+  // only role here is encryption randomness, so the pooled path is
+  // byte-identical to the unpooled one at the same seed.
   std::vector<pir::PaillierPir::ClientState> states(m);
   {
     Writer w;
     for (std::size_t j = 0; j < m; ++j) {
-      w.bytes(spir.make_query(indices[j], states[j], client_prg));
+      w.bytes(pool != nullptr ? spir.make_query(indices[j], states[j], *pool)
+                              : spir.make_query(indices[j], states[j], client_prg));
     }
     net.client_send(server_id, w.take());
   }
@@ -125,7 +144,7 @@ SelectedShares input_selection_poly_mask_client_key(
     net::StarNetwork& net, std::size_t server_id, std::span<const std::uint64_t> database,
     const std::vector<std::size_t>& indices, const field::Fp64& field,
     const he::PaillierPrivateKey& client_sk, std::size_t pir_depth, crypto::Prg& client_prg,
-    crypto::Prg& server_prg) {
+    crypto::Prg& server_prg, const he::ClientPrecomp& precomp) {
   SPFE_OBS_SPAN("input_selection.poly_mask_client_key");
   const std::uint64_t p = field.modulus();
   check_inputs(database, indices, p);
@@ -134,6 +153,7 @@ SelectedShares input_selection_poly_mask_client_key(
   const he::PaillierPublicKey& pk = client_sk.public_key();
   check_blinding_headroom(pk, BigInt(m) * BigInt(p) * BigInt(p));
   const pir::CuckooBatchPir spir(pk, n, m, pir_depth);
+  he::PaillierRandomnessPool* pool = pool_for(precomp, pk);
 
   // Client: E(i_j^k) for all j, k plus one batched SPIR query.
   pir::CuckooBatchPir::ClientState pir_state;
@@ -141,10 +161,12 @@ SelectedShares input_selection_poly_mask_client_key(
     Writer w;
     for (std::size_t j = 0; j < m; ++j) {
       for (std::size_t k = 0; k < m; ++k) {
-        write_ct(w, pk, pk.encrypt(BigInt(pow_mod_u64(indices[j] + 1, k, p)), client_prg));
+        const BigInt power(pow_mod_u64(indices[j] + 1, k, p));
+        write_ct(w, pk,
+                 pool != nullptr ? pool->encrypt(power) : pk.encrypt(power, client_prg));
       }
     }
-    w.bytes(spir.make_query(indices, pir_state, client_prg));
+    w.bytes(spir.make_query(indices, pir_state, client_prg, pool));
     net.client_send(server_id, w.take());
   }
 
@@ -210,7 +232,8 @@ SelectedShares input_selection_poly_mask_server_key(
     net::StarNetwork& net, std::size_t server_id, std::span<const std::uint64_t> database,
     const std::vector<std::size_t>& indices, const field::Fp64& field,
     const he::PaillierPrivateKey& server_sk, const he::PaillierPrivateKey& client_sk,
-    std::size_t pir_depth, crypto::Prg& client_prg, crypto::Prg& server_prg) {
+    std::size_t pir_depth, crypto::Prg& client_prg, crypto::Prg& server_prg,
+    const he::ClientPrecomp& precomp) {
   SPFE_OBS_SPAN("input_selection.poly_mask_server_key");
   const std::uint64_t p = field.modulus();
   check_inputs(database, indices, p);
@@ -255,15 +278,20 @@ SelectedShares input_selection_poly_mask_server_key(
       }
     }
     const std::vector<BigInt> sums = pk2.mul_scalar_sum_matrix(coeff_cts, exps);
+    // These encryptions are under the *server's* key pk2: a client-key pool
+    // never serves them (pool_for returns null on the key mismatch).
+    he::PaillierRandomnessPool* pool2 = pool_for(precomp, pk2);
     Writer w;
     for (std::size_t j = 0; j < m; ++j) {
-      BigInt acc = pk2.add(pk2.encrypt(BigInt(0), client_prg), sums[j]);
+      BigInt acc = pk2.add(
+          pool2 != nullptr ? pool2->encrypt(BigInt(0)) : pk2.encrypt(BigInt(0), client_prg),
+          sums[j]);
       const BigInt rho = BigInt::random_below(client_prg, blind_bound);
       rho_mod_p[j] = rho.mod_floor(BigInt(p)).to_u64();
-      acc = pk2.add(acc, pk2.encrypt(rho, client_prg));
+      acc = pk2.add(acc, pool2 != nullptr ? pool2->encrypt(rho) : pk2.encrypt(rho, client_prg));
       write_ct(w, pk2, acc);
     }
-    w.bytes(spir.make_query(indices, pir_state, client_prg));
+    w.bytes(spir.make_query(indices, pir_state, client_prg, pool_for(precomp, client_sk.public_key())));
     net.client_send(server_id, w.take());
   }
 
@@ -311,7 +339,8 @@ SelectedShares input_selection_encrypted_db(net::StarNetwork& net, std::size_t s
                                             const he::PaillierPrivateKey& server_sk,
                                             const he::PaillierPrivateKey& client_sk,
                                             std::size_t pir_depth, crypto::Prg& client_prg,
-                                            crypto::Prg& server_prg) {
+                                            crypto::Prg& server_prg,
+                                            const he::ClientPrecomp& precomp) {
   SPFE_OBS_SPAN("input_selection.encrypted_db");
   check_inputs(database, indices, modulus);
   const std::size_t m = indices.size();
@@ -326,7 +355,9 @@ SelectedShares input_selection_encrypted_db(net::StarNetwork& net, std::size_t s
   const pir::CuckooBatchPir spir(client_sk.public_key(), n, m, pir_depth);
 
   pir::CuckooBatchPir::ClientState pir_state;
-  net.client_send(server_id, spir.make_query(indices, pir_state, client_prg));
+  net.client_send(server_id,
+                  spir.make_query(indices, pir_state, client_prg,
+                                  pool_for(precomp, client_sk.public_key())));
 
   // Server: encrypted database (prepared once), one batched SPIR answer.
   {
@@ -352,6 +383,9 @@ SelectedShares input_selection_encrypted_db(net::StarNetwork& net, std::size_t s
     const std::vector<Bytes> items =
         spir.decode_bytes(client_sk, pk2.ciphertext_bytes(), r.bytes(), pir_state);
     r.expect_done();
+    // The re-blind encrypts under the server's key pk2 — a client-key pool
+    // is silently bypassed here by the key check.
+    he::PaillierRandomnessPool* pool2 = pool_for(precomp, pk2);
     Writer w;
     const BigInt u(modulus);
     for (std::size_t j = 0; j < m; ++j) {
@@ -362,7 +396,9 @@ SelectedShares input_selection_encrypted_db(net::StarNetwork& net, std::size_t s
       // rho term statistically hides the carry.
       const BigInt rho = BigInt::random_below(client_prg, BigInt(1) << kStatBits);
       const BigInt blind = u * rho + (u - BigInt(r_j));
-      write_ct(w, pk2, pk2.add(ct, pk2.encrypt(blind, client_prg)));
+      write_ct(w, pk2,
+               pk2.add(ct, pool2 != nullptr ? pool2->encrypt(blind)
+                                            : pk2.encrypt(blind, client_prg)));
     }
     net.client_send(server_id, w.take());
   }
@@ -383,7 +419,8 @@ SelectedXorShares input_selection_encrypted_db_gm(
     net::StarNetwork& net, std::size_t server_id, std::span<const std::uint64_t> database,
     const std::vector<std::size_t>& indices, std::size_t item_bits,
     const he::GmPrivateKey& server_sk, const he::PaillierPrivateKey& client_sk,
-    std::size_t pir_depth, crypto::Prg& client_prg, crypto::Prg& server_prg) {
+    std::size_t pir_depth, crypto::Prg& client_prg, crypto::Prg& server_prg,
+    const he::ClientPrecomp& precomp) {
   SPFE_OBS_SPAN("input_selection.encrypted_db_gm");
   if (item_bits == 0 || item_bits > 63) {
     throw InvalidArgument("GM input selection: item_bits must be in [1, 63]");
@@ -397,11 +434,13 @@ SelectedXorShares input_selection_encrypted_db_gm(
   const pir::PaillierPir spir(client_sk.public_key(), n, pir_depth);
 
   // Client: one SPIR query per selected item.
+  he::PaillierRandomnessPool* pool = pool_for(precomp, client_sk.public_key());
   std::vector<pir::PaillierPir::ClientState> states(m);
   {
     Writer w;
     for (std::size_t j = 0; j < m; ++j) {
-      w.bytes(spir.make_query(indices[j], states[j], client_prg));
+      w.bytes(pool != nullptr ? spir.make_query(indices[j], states[j], *pool)
+                              : spir.make_query(indices[j], states[j], client_prg));
     }
     net.client_send(server_id, w.take());
   }
@@ -434,6 +473,9 @@ SelectedXorShares input_selection_encrypted_db_gm(
   {
     Reader r(net.client_receive(server_id));
     const he::GmPublicKey pk2 = he::GmPublicKey::deserialize(r);
+    // GM blinding runs under the server's GM key — only a pool built for
+    // that key serves (the caller learns pk2 from a prior run or key cache).
+    he::GmRandomnessPool* gm_pool = gm_pool_for(precomp, pk2);
     Writer w;
     for (std::size_t j = 0; j < m; ++j) {
       const Bytes item = spir.decode_bytes(client_sk, item_bytes, r.bytes());
@@ -446,7 +488,9 @@ SelectedXorShares input_selection_encrypted_db_gm(
         // E(x_bit) * E(blind) = E(x_bit ^ blind); rerandomize so the server
         // cannot link the returned ciphertext to a database position.
         const BigInt blinded =
-            pk2.rerandomize(pk2.xor_ct(ct, pk2.encrypt(blind, client_prg)), client_prg);
+            gm_pool != nullptr
+                ? gm_pool->rerandomize(pk2.xor_ct(ct, gm_pool->encrypt(blind)))
+                : pk2.rerandomize(pk2.xor_ct(ct, pk2.encrypt(blind, client_prg)), client_prg);
         w.raw(blinded.to_bytes_be_padded(pk2.ciphertext_bytes()));
       }
       shares.client_shares[j] = r_j;

@@ -39,9 +39,19 @@
 #include "field/fp64.h"
 #include "he/goldwasser_micali.h"
 #include "he/paillier.h"
+#include "he/precomp.h"
 #include "net/network.h"
 
 namespace spfe::protocols {
+
+// Every client entry point takes an optional `precomp` bundle
+// (he/precomp.h). Pools are used only for the encryption sites whose key
+// matches the pool's key — sites encrypting under the *server's* key (the
+// §3.3.2 variant-2 evaluation, the §3.3.3 re-blinding) silently fall back
+// to the online PRG when the pool is keyed for the client. A pooled run is
+// deterministic in the seeds and independent of pool warmth; it matches the
+// unpooled transcript byte-for-byte whenever the protocol's only use of the
+// client PRG is encryption randomness (§3.3.1 per-item selection).
 
 struct SelectedShares {
   std::vector<std::uint64_t> client_shares;
@@ -57,7 +67,8 @@ SelectedShares input_selection_per_item(net::StarNetwork& net, std::size_t serve
                                         std::uint64_t modulus,
                                         const he::PaillierPrivateKey& client_sk,
                                         std::size_t pir_depth, crypto::Prg& client_prg,
-                                        crypto::Prg& server_prg);
+                                        crypto::Prg& server_prg,
+                                        const he::ClientPrecomp& precomp = {});
 
 // §3.3.2 variant 1. Shares over the prime field (u = field.modulus());
 // database values must be < u. One round.
@@ -65,7 +76,7 @@ SelectedShares input_selection_poly_mask_client_key(
     net::StarNetwork& net, std::size_t server_id, std::span<const std::uint64_t> database,
     const std::vector<std::size_t>& indices, const field::Fp64& field,
     const he::PaillierPrivateKey& client_sk, std::size_t pir_depth, crypto::Prg& client_prg,
-    crypto::Prg& server_prg);
+    crypto::Prg& server_prg, const he::ClientPrecomp& precomp = {});
 
 // §3.3.2 variant 2. Server-side homomorphic key (`server_sk`) for the
 // coefficient encryptions; client key for the SPIR. 1.5 rounds.
@@ -73,7 +84,8 @@ SelectedShares input_selection_poly_mask_server_key(
     net::StarNetwork& net, std::size_t server_id, std::span<const std::uint64_t> database,
     const std::vector<std::size_t>& indices, const field::Fp64& field,
     const he::PaillierPrivateKey& server_sk, const he::PaillierPrivateKey& client_sk,
-    std::size_t pir_depth, crypto::Prg& client_prg, crypto::Prg& server_prg);
+    std::size_t pir_depth, crypto::Prg& client_prg, crypto::Prg& server_prg,
+    const he::ClientPrecomp& precomp = {});
 
 // §3.3.3. Shares over Z_u; SPIR retrieves server-side ciphertexts (byte
 // items) under the client's PIR key. 1.5 rounds for the selection phase.
@@ -84,7 +96,8 @@ SelectedShares input_selection_encrypted_db(net::StarNetwork& net, std::size_t s
                                             const he::PaillierPrivateKey& server_sk,
                                             const he::PaillierPrivateKey& client_sk,
                                             std::size_t pir_depth, crypto::Prg& client_prg,
-                                            crypto::Prg& server_prg);
+                                            crypto::Prg& server_prg,
+                                            const he::ClientPrecomp& precomp = {});
 
 // XOR-share pair: client ^ server = item, bit-wise over `item_bits` bits.
 struct SelectedXorShares {
@@ -104,6 +117,7 @@ SelectedXorShares input_selection_encrypted_db_gm(
     net::StarNetwork& net, std::size_t server_id, std::span<const std::uint64_t> database,
     const std::vector<std::size_t>& indices, std::size_t item_bits,
     const he::GmPrivateKey& server_sk, const he::PaillierPrivateKey& client_sk,
-    std::size_t pir_depth, crypto::Prg& client_prg, crypto::Prg& server_prg);
+    std::size_t pir_depth, crypto::Prg& client_prg, crypto::Prg& server_prg,
+    const he::ClientPrecomp& precomp = {});
 
 }  // namespace spfe::protocols

@@ -44,6 +44,14 @@ std::vector<std::uint64_t> mask_database(std::span<const std::uint64_t> database
   return masked;
 }
 
+// The client-key pool, or null when absent/keyed differently.
+he::PaillierRandomnessPool* pool_for(const he::ClientPrecomp& precomp,
+                                     const he::PaillierPublicKey& pk) {
+  return (precomp.paillier != nullptr && precomp.paillier->public_key() == pk)
+             ? precomp.paillier
+             : nullptr;
+}
+
 void check_stat_inputs(std::span<const std::uint64_t> database,
                        const std::vector<std::size_t>& indices, std::size_t n, std::size_t m,
                        std::uint64_t p) {
@@ -73,7 +81,8 @@ std::uint64_t WeightedSumProtocol::run(net::StarNetwork& net, std::size_t server
                                        const std::vector<std::size_t>& indices,
                                        const std::vector<std::uint64_t>& weights,
                                        const he::PaillierPrivateKey& client_sk,
-                                       crypto::Prg& client_prg, crypto::Prg& server_prg) const {
+                                       crypto::Prg& client_prg, crypto::Prg& server_prg,
+                                       const he::ClientPrecomp& precomp) const {
   SPFE_OBS_SPAN("stats.weighted_sum");
   const std::uint64_t p = field_.modulus();
   check_stat_inputs(database, indices, n_, m_, p);
@@ -85,10 +94,11 @@ std::uint64_t WeightedSumProtocol::run(net::StarNetwork& net, std::size_t server
   const pir::CuckooBatchPir spir(pk, n_, m_, pir_depth_);
 
   // Client round-1: SPIR query + E(c_0..c_{m-1}), c_k = sum_j w_j i_j^k.
+  he::PaillierRandomnessPool* pool = pool_for(precomp, pk);
   pir::CuckooBatchPir::ClientState pir_state;
   {
     Writer w;
-    w.bytes(spir.make_query(indices, pir_state, client_prg));
+    w.bytes(spir.make_query(indices, pir_state, client_prg, pool));
     for (std::size_t k = 0; k < m_; ++k) {
       std::uint64_t c_k = 0;
       for (std::size_t j = 0; j < m_; ++j) {
@@ -97,7 +107,8 @@ std::uint64_t WeightedSumProtocol::run(net::StarNetwork& net, std::size_t server
         for (std::size_t e = 0; e < k; ++e) power = mul_mod(power, (indices[j] + 1) % p, p);
         c_k = add_mod(c_k, mul_mod(weights[j] % p, power, p), p);
       }
-      write_ct(w, pk, pk.encrypt(BigInt(c_k), client_prg));
+      write_ct(w, pk,
+               pool != nullptr ? pool->encrypt(BigInt(c_k)) : pk.encrypt(BigInt(c_k), client_prg));
     }
     net.client_send(server_id, w.take());
   }
@@ -152,8 +163,8 @@ MeanVarianceResult MeanVariancePackage::run(net::StarNetwork& net, std::size_t s
                                             std::span<const std::uint64_t> database,
                                             const std::vector<std::size_t>& indices,
                                             const he::PaillierPrivateKey& client_sk,
-                                            crypto::Prg& client_prg,
-                                            crypto::Prg& server_prg) const {
+                                            crypto::Prg& client_prg, crypto::Prg& server_prg,
+                                            const he::ClientPrecomp& precomp) const {
   const std::uint64_t p = field_.modulus();
   check_stat_inputs(database, indices, n_, m_, p);
   const he::PaillierPublicKey& pk = client_sk.public_key();
@@ -164,10 +175,11 @@ MeanVarianceResult MeanVariancePackage::run(net::StarNetwork& net, std::size_t s
 
   // Client round-1: one SPIR query (reused for both databases) + E(c_k)
   // with unit weights.
+  he::PaillierRandomnessPool* pool = pool_for(precomp, pk);
   pir::CuckooBatchPir::ClientState pir_state;
   {
     Writer w;
-    w.bytes(spir.make_query(indices, pir_state, client_prg));
+    w.bytes(spir.make_query(indices, pir_state, client_prg, pool));
     for (std::size_t k = 0; k < m_; ++k) {
       std::uint64_t c_k = 0;
       for (std::size_t j = 0; j < m_; ++j) {
@@ -175,7 +187,8 @@ MeanVarianceResult MeanVariancePackage::run(net::StarNetwork& net, std::size_t s
         for (std::size_t e = 0; e < k; ++e) power = mul_mod(power, (indices[j] + 1) % p, p);
         c_k = add_mod(c_k, power, p);
       }
-      write_ct(w, pk, pk.encrypt(BigInt(c_k), client_prg));
+      write_ct(w, pk,
+               pool != nullptr ? pool->encrypt(BigInt(c_k)) : pk.encrypt(BigInt(c_k), client_prg));
     }
     net.client_send(server_id, w.take());
   }
@@ -242,7 +255,8 @@ std::size_t FrequencyProtocol::run(net::StarNetwork& net, std::size_t server_id,
                                    std::uint64_t keyword,
                                    const he::PaillierPrivateKey& client_sk,
                                    const he::PaillierPrivateKey& server_sk,
-                                   crypto::Prg& client_prg, crypto::Prg& server_prg) const {
+                                   crypto::Prg& client_prg, crypto::Prg& server_prg,
+                                   const he::ClientPrecomp& precomp) const {
   SPFE_OBS_SPAN("stats.frequency");
   const std::uint64_t p = field_.modulus();
   check_stat_inputs(database, indices, n_, m_, p);
@@ -255,14 +269,15 @@ std::size_t FrequencyProtocol::run(net::StarNetwork& net, std::size_t server_id,
   // Phase 1: additive shares a_j + b_j = x_{i_j} mod p.
   const SelectedShares shares =
       run_input_selection(net, server_id, database, indices, p, method_, client_sk, server_sk,
-                          pir_depth_, client_prg, server_prg);
+                          pir_depth_, client_prg, server_prg, precomp);
 
   // Phase 2, client: E(b_j - keyword + p) (positive representative).
   {
+    he::PaillierRandomnessPool* pool = pool_for(precomp, pk);
     Writer w;
     for (std::size_t j = 0; j < m_; ++j) {
       const std::uint64_t t = add_mod(shares.client_shares[j], p - keyword % p, p);
-      write_ct(w, pk, pk.encrypt(BigInt(t), client_prg));
+      write_ct(w, pk, pool != nullptr ? pool->encrypt(BigInt(t)) : pk.encrypt(BigInt(t), client_prg));
     }
     net.client_send(server_id, w.take());
   }

@@ -43,13 +43,15 @@ class WeightedSumProtocol {
   // values and weights are field elements.
   WeightedSumProtocol(field::Fp64 field, std::size_t n, std::size_t m, std::size_t pir_depth);
 
-  // One-round run; returns sum_j weights[j] * x_{indices[j]} mod p.
+  // One-round run; returns sum_j weights[j] * x_{indices[j]} mod p. The
+  // optional `precomp` pools serve the client-side encryptions when keyed
+  // for the client (see input_selection.h for the contract).
   std::uint64_t run(net::StarNetwork& net, std::size_t server_id,
                     std::span<const std::uint64_t> database,
                     const std::vector<std::size_t>& indices,
                     const std::vector<std::uint64_t>& weights,
                     const he::PaillierPrivateKey& client_sk, crypto::Prg& client_prg,
-                    crypto::Prg& server_prg) const;
+                    crypto::Prg& server_prg, const he::ClientPrecomp& precomp = {}) const;
 
  private:
   field::Fp64 field_;
@@ -74,7 +76,7 @@ class MeanVariancePackage {
                          std::span<const std::uint64_t> database,
                          const std::vector<std::size_t>& indices,
                          const he::PaillierPrivateKey& client_sk, crypto::Prg& client_prg,
-                         crypto::Prg& server_prg) const;
+                         crypto::Prg& server_prg, const he::ClientPrecomp& precomp = {}) const;
 
  private:
   field::Fp64 field_;
@@ -96,7 +98,7 @@ class FrequencyProtocol {
                   const std::vector<std::size_t>& indices, std::uint64_t keyword,
                   const he::PaillierPrivateKey& client_sk,
                   const he::PaillierPrivateKey& server_sk, crypto::Prg& client_prg,
-                  crypto::Prg& server_prg) const;
+                  crypto::Prg& server_prg, const he::ClientPrecomp& precomp = {}) const;
 
  private:
   field::Fp64 field_;

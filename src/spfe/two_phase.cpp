@@ -40,24 +40,24 @@ SelectedShares run_input_selection(net::StarNetwork& net, std::size_t server_id,
                                    const he::PaillierPrivateKey& client_sk,
                                    const he::PaillierPrivateKey& server_sk,
                                    std::size_t pir_depth, crypto::Prg& client_prg,
-                                   crypto::Prg& server_prg) {
+                                   crypto::Prg& server_prg, const he::ClientPrecomp& precomp) {
   obs::Span span("spfe.input_selection");
   span.note(selection_method_name(method));
   switch (method) {
     case SelectionMethod::kPerItem:
       return input_selection_per_item(net, server_id, database, indices, modulus, client_sk,
-                                      pir_depth, client_prg, server_prg);
+                                      pir_depth, client_prg, server_prg, precomp);
     case SelectionMethod::kPolyMaskClientKey:
       return input_selection_poly_mask_client_key(net, server_id, database, indices,
                                                   field::Fp64(modulus), client_sk, pir_depth,
-                                                  client_prg, server_prg);
+                                                  client_prg, server_prg, precomp);
     case SelectionMethod::kPolyMaskServerKey:
       return input_selection_poly_mask_server_key(net, server_id, database, indices,
                                                   field::Fp64(modulus), server_sk, client_sk,
-                                                  pir_depth, client_prg, server_prg);
+                                                  pir_depth, client_prg, server_prg, precomp);
     case SelectionMethod::kEncryptedDb:
       return input_selection_encrypted_db(net, server_id, database, indices, modulus, server_sk,
-                                          client_sk, pir_depth, client_prg, server_prg);
+                                          client_sk, pir_depth, client_prg, server_prg, precomp);
   }
   throw InvalidArgument("run_input_selection: bad method");
 }

@@ -37,7 +37,9 @@ enum class SelectionMethod {
 const char* selection_method_name(SelectionMethod m);
 
 // Runs the chosen input selection. Poly-mask methods require `modulus` to
-// be prime (they work over the field Z_modulus).
+// be prime (they work over the field Z_modulus). `precomp` optionally
+// supplies offline-precomputed randomness pools for the client-side
+// encryptions (see input_selection.h).
 SelectedShares run_input_selection(net::StarNetwork& net, std::size_t server_id,
                                    std::span<const std::uint64_t> database,
                                    const std::vector<std::size_t>& indices,
@@ -45,7 +47,8 @@ SelectedShares run_input_selection(net::StarNetwork& net, std::size_t server_id,
                                    const he::PaillierPrivateKey& client_sk,
                                    const he::PaillierPrivateKey& server_sk,
                                    std::size_t pir_depth, crypto::Prg& client_prg,
-                                   crypto::Prg& server_prg);
+                                   crypto::Prg& server_prg,
+                                   const he::ClientPrecomp& precomp = {});
 
 // Arithmetic two-phase SPFE. `circuit` has m inputs (the selected items)
 // over Z_u where u = circuit.modulus(); returns the circuit outputs.

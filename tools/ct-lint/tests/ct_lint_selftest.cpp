@@ -48,6 +48,13 @@ TEST(CtLintSelfTest, UnclosedRegionFails) { EXPECT_EQ(run_lint("bad_unclosed.cpp
 // secret-dependent zero-limb skip must be rejected.
 TEST(CtLintSelfTest, SeededMontMulBranchFails) { EXPECT_EQ(run_lint("seeded_mont_mul.cpp"), 1); }
 
+// PR 7 fixture: the fixed-base comb evaluation with a seeded
+// secret-indexed table lookup (the real kernel's masked-scan shape, minus
+// the masking) must be rejected.
+TEST(CtLintSelfTest, SeededFbTablePowIndexFails) {
+  EXPECT_EQ(run_lint("seeded_fbtable_pow.cpp"), 1);
+}
+
 // Whole fixture directory: the bad files dominate, so the scan fails.
 TEST(CtLintSelfTest, FixtureDirectoryFails) { EXPECT_EQ(run_lint(""), 1); }
 
