@@ -42,6 +42,7 @@ BigInt GmPublicKey::random_unit(crypto::Prg& prg) const {
     for (const std::uint64_t limb : r.limbs()) {
       nonzero = nonzero | common::SecretBool::from_mask(common::ct_is_nonzero_u64(limb));
     }
+    // SPFE_DECLASSIFY: rejection-sampling accept bit; rejected draws are discarded and independent of the survivor
     if (nonzero.declassify()) return r;
   }
 }

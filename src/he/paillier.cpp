@@ -31,6 +31,7 @@ BigInt PaillierPublicKey::random_unit(crypto::Prg& prg) const {
     for (const std::uint64_t limb : r.limbs()) {
       nonzero = nonzero | common::SecretBool::from_mask(common::ct_is_nonzero_u64(limb));
     }
+    // SPFE_DECLASSIFY: rejection-sampling accept bit; rejected draws are discarded and independent of the survivor
     if (nonzero.declassify()) return r;
   }
 }

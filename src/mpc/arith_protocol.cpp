@@ -135,7 +135,8 @@ std::vector<std::uint64_t> run_arith_mpc_on_ciphertexts(
     // Client: decrypt, reduce mod u, return encrypted products.
     {
       Reader r(net.client_receive(server_id));
-      const std::uint64_t count = r.varint();
+      // Two ciphertexts per entry, each at least a 1-byte length prefix.
+      const std::uint64_t count = r.varint_count(2);
       Writer products;
       products.varint(count);
       for (std::uint64_t i = 0; i < count; ++i) {
@@ -197,7 +198,7 @@ std::vector<std::uint64_t> run_arith_mpc_on_ciphertexts(
   net.server_send(server_id, out_msg.take());
 
   Reader r(net.client_receive(server_id));
-  const std::uint64_t n_out = r.varint();
+  const std::uint64_t n_out = r.varint_count(1);
   std::vector<std::uint64_t> outputs;
   outputs.reserve(n_out);
   for (std::uint64_t i = 0; i < n_out; ++i) {

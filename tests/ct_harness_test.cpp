@@ -30,6 +30,7 @@
 #include "common/secret.h"
 #include "crypto/prg.h"
 #include "he/paillier.h"
+#include "he/precomp.h"
 
 namespace spfe {
 namespace {
@@ -233,6 +234,39 @@ TEST(CtHarness, PaillierCrtDecryptFixedVsRandom) {
       });
   EXPECT_LT(std::abs(result.t), kSmokeThreshold)
       << "CRT decrypt timing distinguishes fixed vs random ciphertexts: t=" << result.t
+      << " fixed=" << result.mean_fixed << "ns random=" << result.mean_random << "ns";
+}
+
+// The comb-table exponentiation behind the offline/online split: every
+// window does a masked full-table scan plus an unconditional mont_mul, so
+// a fixed exponent and a fresh random one of the same (policy-public) bit
+// length must be indistinguishable. A zero-digit skip or an unmasked
+// table index would separate the classes here.
+TEST(CtHarness, FixedBaseTablePowFixedVsRandom) {
+  crypto::Prg prg("ct-harness-fb-pow");
+  const BigInt n = make_modulus(prg);
+  constexpr std::size_t kExpBits = 256;
+  const he::CtFixedBaseTable table(n, BigInt(5), kExpBits);
+  // Both classes use full-width exponents: the bit length is public by
+  // policy, so the experiment must not vary it between classes.
+  const auto full_width_exp = [&] {
+    std::vector<std::uint8_t> buf(kExpBits / 8);
+    prg.fill(buf.data(), buf.size());
+    buf[0] |= 0x80;
+    return BigInt::from_bytes_be({buf.data(), buf.size()});
+  };
+  const BigInt fixed_exp = full_width_exp();
+  constexpr int kReps = 4;
+  BigInt e;
+  const auto result = run_experiment(
+      prg, [&](int cls) { e = cls == 0 ? fixed_exp : full_width_exp(); },
+      [&] {
+        std::uint64_t acc = 0;
+        for (int r = 0; r < kReps; ++r) acc ^= table.pow(e).low_u64();
+        return acc;
+      });
+  EXPECT_LT(std::abs(result.t), kSmokeThreshold)
+      << "CtFixedBaseTable::pow timing distinguishes fixed vs random exponents: t=" << result.t
       << " fixed=" << result.mean_fixed << "ns random=" << result.mean_random << "ns";
 }
 

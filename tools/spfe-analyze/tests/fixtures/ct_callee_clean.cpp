@@ -1,0 +1,17 @@
+// Fixture: secrets may flow through ct_*-prefixed callees and in-tree
+// helpers whose bodies are themselves clean. Expected exit: 0.
+#include <cstdint>
+
+namespace fixture {
+
+std::uint64_t ct_select_u64(std::uint64_t mask, std::uint64_t a, std::uint64_t b);
+
+std::uint64_t helper(std::uint64_t v) { return v + 1; }
+
+std::uint64_t blend(std::uint64_t /*secret*/ s) {
+  std::uint64_t m = s;
+  std::uint64_t r = ct_select_u64(m, 1, 0);
+  return r + helper(s);
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: a justified declassify() exit is clean on its own, and clean
+// against a matching audit report (audit_ok.json).
+// Expected exit: 0 (1 with a mismatching audit report).
+
+namespace fixture {
+
+struct SecretBool {
+  bool declassify() const { return true; }
+};
+
+bool check_justified(SecretBool nz) {
+  // SPFE_DECLASSIFY: fixture rejection-sampling exit
+  return nz.declassify();
+}
+
+}  // namespace fixture

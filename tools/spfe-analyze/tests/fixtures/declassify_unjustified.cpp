@@ -1,0 +1,13 @@
+// Fixture: a declassify() taint exit without an adjacent
+// `// SPFE_DECLASSIFY: <reason>` comment must be flagged.
+// Expected exit: 1.
+
+namespace fixture {
+
+struct SecretBool {
+  bool declassify() const { return true; }
+};
+
+bool check_unjustified(SecretBool nz) { return nz.declassify(); }
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: a count read through Reader::varint_count is bounded by the
+// remaining buffer and may size containers and loops.
+// Expected exit: 0.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct Reader {
+  std::uint64_t varint();
+  std::uint64_t varint_count(std::size_t min_item_bytes);
+};
+
+void parse_bounded(Reader& r, std::vector<std::uint64_t>& out) {
+  std::uint64_t n = 0;
+  n = r.varint_count(1);
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.push_back(r.varint());
+  }
+}
+
+}  // namespace fixture

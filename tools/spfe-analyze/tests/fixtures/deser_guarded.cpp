@@ -1,0 +1,24 @@
+// Fixture: a wire-read count validated by an equality guard that throws
+// (the base-OT pattern, where the expected count is known a priori) is
+// accepted. Expected exit: 0.
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace fixture {
+
+struct Reader {
+  std::uint64_t varint();
+  std::uint64_t varint_count(std::size_t min_item_bytes);
+};
+
+void parse_guarded(Reader& r, std::vector<std::uint64_t>& out) {
+  std::uint64_t n = 0;
+  n = r.varint();
+  if (n != 4) throw std::runtime_error("bad count");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.push_back(r.varint());
+  }
+}
+
+}  // namespace fixture

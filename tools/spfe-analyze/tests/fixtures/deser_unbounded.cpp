@@ -1,0 +1,20 @@
+// Fixture: a wire-read element count reaching resize() without
+// Reader::varint_count is the PR 6 regression class.
+// Expected exit: 1.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct Reader {
+  std::uint64_t varint();
+  std::uint64_t varint_count(std::size_t min_item_bytes);
+};
+
+void parse_unbounded(Reader& r, std::vector<std::uint64_t>& out) {
+  std::uint64_t n = 0;
+  n = r.varint();
+  out.resize(n);
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: one-hop interprocedural taint. `table_lookup` carries no
+// annotation, but receives a /*secret*/ argument from `query`; its
+// secret-indexed subscript must be flagged. Expected exit: 1.
+#include <cstdint>
+
+namespace fixture {
+
+std::uint64_t table_lookup(const std::uint64_t* table, std::uint64_t idx) {
+  return table[idx];
+}
+
+std::uint64_t query(const std::uint64_t* table, std::uint64_t /*secret*/ index) {
+  return table_lookup(table, index);
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: two-hop interprocedural taint. The secret flows
+// outer -> mix (tainted return) -> pick, whose branch must be flagged.
+// Expected exit: 1.
+#include <cstdint>
+
+namespace fixture {
+
+std::uint64_t mix(std::uint64_t v) { return v * 3; }
+
+std::uint64_t pick(std::uint64_t v) {
+  if (v & 1) return 1;
+  return 0;
+}
+
+std::uint64_t outer(std::uint64_t /*secret*/ key) { return pick(mix(key)); }
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: touching the StarNetwork queue internals outside src/net/
+// bypasses metering (and the fault injector). Expected exit: 1.
+
+namespace fixture {
+
+struct QueuePoker {
+  void* to_server_;
+};
+
+void poke(QueuePoker& q) { q.to_server_ = nullptr; }
+
+}  // namespace fixture

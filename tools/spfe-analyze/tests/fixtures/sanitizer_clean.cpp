@@ -1,0 +1,20 @@
+// Fixture: randomized encryption sanitizes taint — a ciphertext of a
+// secret is public (IND-CPA), so branching on it is fine.
+// Expected exit: 0.
+#include <cstdint>
+
+namespace fixture {
+
+struct Pk {
+  std::uint64_t encrypt(std::uint64_t m) const;
+};
+
+int wrap(const Pk& pk, std::uint64_t /*secret*/ m) {
+  const std::uint64_t c = pk.encrypt(m);
+  if (c > 0) {
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: tainted-return propagation. `load_key` returns a /*secret*/
+// local; branching on its call result in `use` must be flagged.
+// Expected exit: 1.
+#include <cstdint>
+
+namespace fixture {
+
+void audit_log(int code);
+
+std::uint64_t load_key() {
+  std::uint64_t /*secret*/ key = 42;
+  return key;
+}
+
+void use() {
+  if (load_key() != 0) {
+    audit_log(1);
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: a raw POSIX send() bypasses the CommStats-metered network
+// API. Expected exit: 1.
+
+namespace fixture {
+
+void leak_bytes(int fd, const unsigned char* buf, unsigned long len) {
+  send(fd, buf, len, 0);
+}
+
+}  // namespace fixture
