@@ -12,10 +12,14 @@
 //
 // `--smoke` shrinks the database so CI can run the full flow in seconds.
 // Emits BENCH_robust.json (see bench_util.h JsonReport) next to the tables.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "bench_util.h"
 #include "net/fault.h"
+#include "net/sim.h"
+#include "obs/obs.h"
 #include "pir/itpir.h"
 #include "spfe/multiserver.h"
 
@@ -183,6 +187,137 @@ int main(int argc, char** argv) {
               "Berlekamp-Welch solves a (d + e + 1)-square system once per attempt. A\n"
               "crashed server's answers never arrive, so faulted-run communication dips\n"
               "below the clean run at the same k.\n");
+
+  // --- E9: virtual tail latency, hedged vs unhedged -------------------------
+  // One chronically degraded replica (the classic production tail): every
+  // message to or from server 2 straggles at 40x. The unhedged timed client
+  // drains every queried channel before decoding, so each query eats the
+  // degraded round trip; the hedged client declares the replica a straggler
+  // after hedge_timeout_us, dispatches a spare, and decodes from the early
+  // quorum. All latencies are VIRTUAL microseconds on the SimClock —
+  // deterministic from the seeds, identical on any machine and at any
+  // SPFE_THREADS — so the p99 gate below is exact, not flaky.
+  const std::size_t tail_reps = smoke ? 60 : 400;
+  std::printf("\n== E9: tail latency under a degraded replica (%zu queries, virtual us) ==\n\n",
+              tail_reps);
+  std::uint64_t hedged_p99 = 0;
+  std::uint64_t unhedged_p99 = 0;
+  bool tail_ok = true;
+  {
+    const std::size_t tail_n = smoke ? 256 : 4096;
+    std::vector<std::uint64_t> db(tail_n);
+    for (std::size_t i = 0; i < tail_n; ++i) db[i] = i * 5 + 7;
+    const std::size_t k0 = pir::PolyItPir::min_servers(tail_n, t);
+    const std::size_t spares = 4;
+    const std::size_t k = k0 + spares;
+    const pir::PolyItPir p(field, tail_n, k, t);
+    const crypto::Prg meta("e9-tail");
+
+    // Healthy replicas occasionally straggle mildly (1% per message, 3x);
+    // replica 2 — a primary in both configurations — straggles always, 40x.
+    std::vector<net::ServerProfile> profiles(k, net::ServerProfile{200, 100, 10, 3});
+    profiles[2] = net::ServerProfile{200, 100, 1000, 40};
+
+    auto percentile = [](std::vector<std::uint64_t> xs, double q) {
+      std::sort(xs.begin(), xs.end());
+      std::size_t rank =
+          static_cast<std::size_t>(std::ceil(q * static_cast<double>(xs.size())));
+      if (rank > 0) --rank;
+      return xs[std::min(rank, xs.size() - 1)];
+    };
+    auto op_total = [](const spfe::obs::OpCounts& counts, spfe::obs::Op op) {
+      return counts[static_cast<std::size_t>(op)];
+    };
+
+    struct TailRun {
+      std::vector<std::uint64_t> completion_us;
+      std::uint64_t hedges_sent = 0;
+      std::uint64_t bytes = 0;
+      bool ok = true;
+    };
+    auto run_mode = [&](bool hedged) {
+      TailRun out;
+      spfe::obs::Tracer::global().set_enabled(true);
+      spfe::obs::Tracer::global().reset();
+      for (std::size_t q = 0; q < tail_reps; ++q) {
+        // Both modes replay the same per-query weather (same SimConfig seed).
+        net::SimConfig cfg;
+        cfg.seed = meta.fork_seed("net-" + std::to_string(q));
+        cfg.profiles = profiles;
+        net::SimStarNetwork net(k, cfg);
+        net::RobustConfig rc;
+        rc.timing.enabled = true;
+        rc.timing.attempt_timeout_us = 50'000;
+        rc.timing.hedge_timeout_us = hedged ? 600 : 0;
+        rc.timing.hedge_spares = hedged ? spares : 0;
+        rc.timing.backoff_seed = meta.fork_seed("backoff-" + std::to_string(q));
+        crypto::Prg prg =
+            meta.fork((hedged ? "proto-hedged-" : "proto-unhedged-") + std::to_string(q));
+        const std::size_t index = (q * 7919 + 5) % tail_n;
+        try {
+          const net::RobustResult r = p.run_robust(net, db, index, spir_seed, prg, rc);
+          if (r.value != db[index]) out.ok = false;
+          out.completion_us.push_back(r.report.completion_us);
+        } catch (const net::RobustProtocolError&) {
+          out.ok = false;
+          out.completion_us.push_back(rc.timing.attempt_timeout_us * rc.max_attempts);
+        }
+        out.bytes = net.stats().total_bytes();
+      }
+      out.hedges_sent =
+          op_total(spfe::obs::Tracer::global().totals(), spfe::obs::Op::kHedgeSent);
+      spfe::obs::Tracer::global().set_enabled(false);
+      return out;
+    };
+
+    const TailRun unhedged = run_mode(false);
+    const TailRun hedged = run_mode(true);
+    tail_ok = unhedged.ok && hedged.ok;
+    unhedged_p99 = percentile(unhedged.completion_us, 0.99);
+    hedged_p99 = percentile(hedged.completion_us, 0.99);
+
+    bench::Table table({"mode", "k", "spares", "p50 us", "p95 us", "p99 us", "hedges/query",
+                        "exact"});
+    table.add({"unhedged", std::to_string(k), "0",
+               bench::fmt_u(percentile(unhedged.completion_us, 0.50)),
+               bench::fmt_u(percentile(unhedged.completion_us, 0.95)),
+               bench::fmt_u(unhedged_p99),
+               bench::fmt("%.2f", static_cast<double>(unhedged.hedges_sent) /
+                                      static_cast<double>(tail_reps)),
+               unhedged.ok ? "yes" : "WRONG"});
+    table.add({"hedged", std::to_string(k), std::to_string(spares),
+               bench::fmt_u(percentile(hedged.completion_us, 0.50)),
+               bench::fmt_u(percentile(hedged.completion_us, 0.95)),
+               bench::fmt_u(hedged_p99),
+               bench::fmt("%.2f", static_cast<double>(hedged.hedges_sent) /
+                                      static_cast<double>(tail_reps)),
+               hedged.ok ? "yes" : "WRONG"});
+    table.print();
+
+    json.add("itpir_tail_unhedged_p50", k,
+             static_cast<double>(percentile(unhedged.completion_us, 0.50)) * 1e3,
+             unhedged.bytes);
+    json.add("itpir_tail_unhedged_p95", k,
+             static_cast<double>(percentile(unhedged.completion_us, 0.95)) * 1e3,
+             unhedged.bytes);
+    json.add("itpir_tail_unhedged_p99", k, static_cast<double>(unhedged_p99) * 1e3,
+             unhedged.bytes);
+    json.add("itpir_tail_hedged_p50", k,
+             static_cast<double>(percentile(hedged.completion_us, 0.50)) * 1e3, hedged.bytes);
+    json.add("itpir_tail_hedged_p95", k,
+             static_cast<double>(percentile(hedged.completion_us, 0.95)) * 1e3, hedged.bytes);
+    json.add("itpir_tail_hedged_p99", k, static_cast<double>(hedged_p99) * 1e3, hedged.bytes);
+  }
+
   json.write();
-  return 0;
+
+  // CI gate: hedging must at least halve the p99 (and every query must have
+  // decoded the exact value). Virtual time makes this deterministic.
+  const bool gate_ok = tail_ok && hedged_p99 * 2 <= unhedged_p99;
+  std::printf("\nE9 gate: hedged p99 %llu us x2 %s unhedged p99 %llu us%s — %s\n",
+              static_cast<unsigned long long>(hedged_p99), gate_ok ? "<=" : ">",
+              static_cast<unsigned long long>(unhedged_p99),
+              tail_ok ? "" : " (and a query decoded a WRONG value)",
+              gate_ok ? "PASS" : "FAIL");
+  return gate_ok ? 0 : 1;
 }

@@ -22,6 +22,27 @@ const char* fault_kind_name(FaultKind kind) {
   return "?";
 }
 
+FaultAction apply_fault(const Fault* fault, Bytes& message) {
+  if (fault == nullptr) return FaultAction::kDeliver;
+  switch (fault->kind) {
+    case FaultKind::kDrop:
+      return FaultAction::kDrop;
+    case FaultKind::kCorruptByte:
+      if (!message.empty()) {
+        message[fault->byte_index % message.size()] ^= fault->xor_mask;
+      }
+      return FaultAction::kDeliver;
+    case FaultKind::kTruncate:
+      message.resize(std::min(fault->keep_bytes, message.size()));
+      return FaultAction::kDeliver;
+    case FaultKind::kDuplicate:
+      return FaultAction::kDeliverTwice;
+    case FaultKind::kDelayHalfRound:
+      return FaultAction::kDeliverDelayed;
+  }
+  return FaultAction::kDeliver;
+}
+
 void FaultPlan::add(Direction direction, std::size_t server, std::size_t ordinal, Fault fault) {
   if (direction == Direction::kNone) {
     throw InvalidArgument("FaultPlan: faults must target a concrete direction");
@@ -148,33 +169,20 @@ bool FaultyStarNetwork::server_crashed(std::size_t s) const {
 
 void FaultyStarNetwork::deliver(std::deque<Bytes>& queue, std::deque<bool>& delayed,
                                 const Fault* fault, Bytes message) {
-  if (fault == nullptr) {
-    queue.push_back(std::move(message));
-    delayed.push_back(false);
-    return;
-  }
-  switch (fault->kind) {
-    case FaultKind::kDrop:
+  switch (apply_fault(fault, message)) {
+    case FaultAction::kDrop:
       return;
-    case FaultKind::kCorruptByte:
-      if (!message.empty()) {
-        message[fault->byte_index % message.size()] ^= fault->xor_mask;
-      }
+    case FaultAction::kDeliver:
       queue.push_back(std::move(message));
       delayed.push_back(false);
       return;
-    case FaultKind::kTruncate:
-      message.resize(std::min(fault->keep_bytes, message.size()));
-      queue.push_back(std::move(message));
-      delayed.push_back(false);
-      return;
-    case FaultKind::kDuplicate:
+    case FaultAction::kDeliverTwice:
       queue.push_back(message);
       delayed.push_back(false);
       queue.push_back(std::move(message));
       delayed.push_back(false);
       return;
-    case FaultKind::kDelayHalfRound:
+    case FaultAction::kDeliverDelayed:
       queue.push_back(std::move(message));
       delayed.push_back(true);
       return;

@@ -49,6 +49,21 @@ struct Fault {
   std::size_t keep_bytes = 0;     // kTruncate: delivered prefix length
 };
 
+// What delivery should do after a fault mangled the payload. Shared by the
+// untimed FaultyStarNetwork (delay = a one-attempt bool mark) and the
+// virtual-time SimStarNetwork (delay = a concrete latency penalty; see
+// net/sim.h).
+enum class FaultAction : std::uint8_t {
+  kDeliver,        // enqueue the (possibly mutated) message
+  kDrop,           // never enqueue; the sender's metering already happened
+  kDeliverDelayed, // enqueue, but past the receiver's current deadline
+  kDeliverTwice,   // enqueue two copies (only one transmission is metered)
+};
+
+// Applies `fault` (may be null) to `message` in place and says how to
+// enqueue it.
+FaultAction apply_fault(const Fault* fault, Bytes& message);
+
 class FaultPlan {
  public:
   FaultPlan() = default;

@@ -93,6 +93,10 @@ const char* op_name(Op op) {
     case Op::kPoolRefill: return "pool_refill";
     case Op::kFbTableBuild: return "fbtable_build";
     case Op::kFbTableHit: return "fbtable_hit";
+    case Op::kDeadlineMiss: return "deadline_miss";
+    case Op::kHedgeSent: return "hedge_sent";
+    case Op::kHedgeWon: return "hedge_won";
+    case Op::kBackoffWait: return "backoff_wait";
   }
   return "unknown";
 }

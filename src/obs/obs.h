@@ -60,8 +60,12 @@ enum class Op : std::uint8_t {
   kPoolRefill,          // offline pool refill batches completed
   kFbTableBuild,        // fixed-base table cache: tables built
   kFbTableHit,          // fixed-base table cache: lookups served from cache
+  kDeadlineMiss,        // in-flight answers that missed a receive deadline
+  kHedgeSent,           // hedge queries dispatched to spare servers
+  kHedgeWon,            // hedge answers that arrived and were used
+  kBackoffWait,         // retry backoff waits (virtual-time sleeps)
 };
-inline constexpr std::size_t kNumOps = 19;
+inline constexpr std::size_t kNumOps = 23;
 
 const char* op_name(Op op);
 

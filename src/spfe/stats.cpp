@@ -245,6 +245,98 @@ MeanVarianceResult MeanVariancePackage::run(net::StarNetwork& net, std::size_t s
   return result;
 }
 
+RobustStatsSession::RobustStatsSession(field::Fp64 field, std::size_t n, std::size_t m,
+                                       std::size_t num_servers, std::size_t threshold,
+                                       const crypto::Prg::Seed& session_seed,
+                                       RobustStatsConfig config)
+    : field_(field),
+      proto_(field, n, m, num_servers, threshold),
+      config_(config),
+      prg_(session_seed),
+      health_(num_servers) {
+  if (config_.max_attempts == 0) {
+    throw InvalidArgument("RobustStatsSession: max_attempts must be >= 1");
+  }
+  if (config_.hedge_quantile <= 0.0 || config_.hedge_quantile > 1.0) {
+    throw InvalidArgument("RobustStatsSession: hedge_quantile must be in (0, 1]");
+  }
+}
+
+net::RobustConfig RobustStatsSession::next_query_config() {
+  net::RobustConfig cfg;
+  cfg.max_attempts = config_.max_attempts;
+  cfg.timing.enabled = true;  // ignored over untimed networks
+  cfg.timing.attempt_timeout_us = config_.attempt_timeout_us;
+  cfg.timing.byzantine_budget = config_.byzantine_budget;
+  cfg.timing.hedge_spares = config_.hedge_spares;
+  if (config_.hedge_spares > 0) {
+    cfg.timing.hedge_timeout_us =
+        std::max(config_.hedge_floor_us,
+                 health_.latency_quantile_us(config_.hedge_quantile, config_.hedge_fallback_us));
+  }
+  cfg.timing.backoff_base_us = config_.backoff_base_us;
+  cfg.timing.backoff_max_us = config_.backoff_max_us;
+  cfg.timing.backoff_seed =
+      prg_.fork_seed("backoff-" + std::to_string(query_no_));
+  // Healthy servers first; the demoted tail serves as hedge spares.
+  cfg.timing.send_order = health_.ranked_order();
+  return cfg;
+}
+
+net::RobustResult RobustStatsSession::run_one(net::StarNetwork& net,
+                                              std::span<const std::uint64_t> database,
+                                              const std::vector<std::size_t>& indices,
+                                              const std::optional<crypto::Prg::Seed>& spir_seed) {
+  const net::RobustConfig cfg = next_query_config();
+  crypto::Prg qprg = prg_.fork("query-" + std::to_string(query_no_));
+  ++query_no_;
+  try {
+    net::RobustResult result = proto_.run_robust(net, database, indices, spir_seed, qprg, cfg);
+    health_.observe(result.report);
+    return result;
+  } catch (const net::RobustProtocolError& e) {
+    // A terminal failure is still evidence about who misbehaved.
+    health_.observe(e.report());
+    throw;
+  }
+}
+
+net::RobustResult RobustStatsSession::sum(net::StarNetwork& net,
+                                          std::span<const std::uint64_t> database,
+                                          const std::vector<std::size_t>& indices,
+                                          const std::optional<crypto::Prg::Seed>& spir_seed) {
+  SPFE_OBS_SPAN("stats.robust_sum");
+  return run_one(net, database, indices, spir_seed);
+}
+
+MeanVarianceResult RobustStatsSession::mean_variance(
+    net::StarNetwork& net, std::span<const std::uint64_t> database,
+    const std::vector<std::size_t>& indices, const std::optional<crypto::Prg::Seed>& spir_seed,
+    net::RobustnessReport* sum_report, net::RobustnessReport* squares_report) {
+  SPFE_OBS_SPAN("stats.robust_mean_variance");
+  const std::uint64_t p = field_.modulus();
+  net::RobustResult sum_res = run_one(net, database, indices, spir_seed);
+  if (sum_report != nullptr) *sum_report = sum_res.report;
+
+  // The §4 package's second database: the servers answer the same selection
+  // over x''_i = x_i^2 with an independent query curve.
+  std::vector<std::uint64_t> squares(database.size());
+  for (std::size_t i = 0; i < database.size(); ++i) {
+    squares[i] = mul_mod(database[i] % p, database[i] % p, p);
+  }
+  net::RobustResult sq_res = run_one(net, squares, indices, spir_seed);
+  if (squares_report != nullptr) *squares_report = sq_res.report;
+
+  MeanVarianceResult result;
+  result.sum = sum_res.value;
+  result.sum_of_squares = sq_res.value;
+  const double md = static_cast<double>(indices.size());
+  result.mean = static_cast<double>(result.sum) / md;
+  result.variance =
+      static_cast<double>(result.sum_of_squares) / md - result.mean * result.mean;
+  return result;
+}
+
 FrequencyProtocol::FrequencyProtocol(field::Fp64 field, std::size_t n, std::size_t m,
                                      SelectionMethod method, std::size_t pir_depth)
     : field_(field), n_(n), m_(m), method_(method), pir_depth_(pir_depth) {}

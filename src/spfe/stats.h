@@ -26,13 +26,17 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "crypto/prg.h"
 #include "field/fp64.h"
 #include "he/paillier.h"
+#include "net/health.h"
 #include "net/network.h"
+#include "net/robust.h"
 #include "spfe/input_selection.h"
+#include "spfe/multiserver.h"
 #include "spfe/two_phase.h"
 
 namespace spfe::protocols {
@@ -83,6 +87,79 @@ class MeanVariancePackage {
   std::size_t n_;
   std::size_t m_;
   std::size_t pir_depth_;
+};
+
+// Availability policy of a long-running statistics session (see
+// net/robust.h TimingPolicy for the per-query mechanics).
+struct RobustStatsConfig {
+  std::size_t max_attempts = 3;
+  std::uint64_t attempt_timeout_us = 50'000;
+  // The e used when provisioning num_servers: in-attempt decodes wait for
+  // degree + 1 + 2e usable answers (see net::TimingPolicy::byzantine_budget).
+  std::size_t byzantine_budget = 0;
+  // Hedge spares held back per query; 0 disables hedging. The hedge
+  // deadline adapts to observed latency: max(hedge_floor_us, the
+  // hedge_quantile of past answer latencies), with hedge_fallback_us
+  // standing in before any answer has been observed.
+  std::size_t hedge_spares = 0;
+  double hedge_quantile = 0.95;
+  std::uint64_t hedge_floor_us = 50;
+  std::uint64_t hedge_fallback_us = 2'000;
+  std::uint64_t backoff_base_us = 1'000;
+  std::uint64_t backoff_max_us = 32'000;
+};
+
+// Session-level driver for §4 statistics workloads over a k-server
+// deployment: wraps the robust multi-server sum (§3.1, f = sum) with a
+// ServerHealthTracker so that a client issuing many queries against the
+// same servers (1) sends to healthy servers first and demotes repeat
+// offenders to hedge-spare duty, and (2) sets its hedge deadline from the
+// latency the deployment actually delivers rather than a static guess.
+// Everything is driven by the session seed — a session replays
+// deterministically over a seeded SimStarNetwork.
+class RobustStatsSession {
+ public:
+  // `num_servers` should come from net::provisioned_servers(t*ceil(log2 n),
+  // e, c, hedge_spares) for the fault budget the deployment must survive.
+  RobustStatsSession(field::Fp64 field, std::size_t n, std::size_t m,
+                     std::size_t num_servers, std::size_t threshold,
+                     const crypto::Prg::Seed& session_seed, RobustStatsConfig config = {});
+
+  std::size_t num_servers() const { return proto_.num_servers(); }
+  const net::ServerHealthTracker& health() const { return health_; }
+  std::size_t queries_issued() const { return query_no_; }
+
+  // Robust sum of the selected items. Feeds the outcome (success or
+  // terminal failure) into the health tracker, then returns or rethrows.
+  net::RobustResult sum(net::StarNetwork& net, std::span<const std::uint64_t> database,
+                        const std::vector<std::size_t>& indices,
+                        const std::optional<crypto::Prg::Seed>& spir_seed);
+
+  // §4 mean/variance package over the robust path: one robust sum over x
+  // and one over the server-side squares view x''_i = x_i^2 (independent
+  // query curves). Requires p > m * max(x)^2 for the aggregates to be
+  // integer-exact. Optional out-params expose the per-query reports.
+  MeanVarianceResult mean_variance(net::StarNetwork& net,
+                                   std::span<const std::uint64_t> database,
+                                   const std::vector<std::size_t>& indices,
+                                   const std::optional<crypto::Prg::Seed>& spir_seed,
+                                   net::RobustnessReport* sum_report = nullptr,
+                                   net::RobustnessReport* squares_report = nullptr);
+
+ private:
+  // Per-query robust config: fresh backoff seed, health-ranked send order,
+  // latency-adaptive hedge deadline.
+  net::RobustConfig next_query_config();
+  net::RobustResult run_one(net::StarNetwork& net, std::span<const std::uint64_t> database,
+                            const std::vector<std::size_t>& indices,
+                            const std::optional<crypto::Prg::Seed>& spir_seed);
+
+  field::Fp64 field_;
+  MultiServerSumSpfe proto_;
+  RobustStatsConfig config_;
+  crypto::Prg prg_;
+  net::ServerHealthTracker health_;
+  std::size_t query_no_ = 0;
 };
 
 class FrequencyProtocol {

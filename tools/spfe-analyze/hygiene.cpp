@@ -15,6 +15,13 @@
 // access to the network queue internals (`to_server_` / `to_client_` /
 // `meter_send`) outside src/net/, bypass the meter (and the fault
 // injector) and are rejected.
+//
+// (c) wall-clock: protocol code must take time from `net::Clock` (or not
+// at all) so that every run replays deterministically under the
+// virtual-time simulation (net/sim.h). A `std::chrono::*_clock::now()`
+// read or a free call into the POSIX time family outside src/net/ makes
+// behaviour depend on the host scheduler — deadlines, backoff, and
+// hedging decisions would stop being reproducible from the seeds.
 #include <unordered_set>
 
 #include "analyzer.h"
@@ -56,6 +63,23 @@ const std::unordered_set<std::string>& socket_call_names() {
 const std::unordered_set<std::string>& net_internal_names() {
   static const std::unordered_set<std::string> kSet = {"to_server_", "to_client_",
                                                        "meter_send"};
+  return kSet;
+}
+
+// std::chrono clock types whose ::now() is a wall-clock read.
+const std::unordered_set<std::string>& chrono_clock_names() {
+  static const std::unordered_set<std::string> kSet = {
+      "steady_clock", "system_clock", "high_resolution_clock",
+  };
+  return kSet;
+}
+
+// POSIX time family; free calls only (`clock` is omitted on purpose —
+// `SimStarNetwork::clock()` accessors would collide).
+const std::unordered_set<std::string>& time_call_names() {
+  static const std::unordered_set<std::string> kSet = {
+      "time", "gettimeofday", "clock_gettime", "timespec_get",
+  };
   return kSet;
 }
 
@@ -341,6 +365,23 @@ void Analyzer::pass_hygiene() {
         add_finding("unmetered-io", sf, t[i].line, where,
                     "network queue internal `" + w + "` referenced outside src/net/ "
                     "(unmetered channel)");
+        continue;
+      }
+      // (c) wall-clock reads outside the simulation layer.
+      if (in_net_layer) continue;
+      if (chrono_clock_names().count(w) > 0 && is_punct(t, i + 1, "::") &&
+          is_ident(t, i + 2, "now") && is_punct(t, i + 3, "(")) {
+        add_finding("wall-clock", sf, t[i].line, where,
+                    "wall-clock read `" + w + "::now` outside src/net/; protocol "
+                    "time must come from net::Clock so runs replay deterministically");
+        continue;
+      }
+      if (time_call_names().count(w) > 0 && is_punct(t, i + 1, "(") &&
+          (i == 0 || (!is_punct(t, i - 1, ".") && !is_punct(t, i - 1, "->") &&
+                      !is_punct(t, i - 1, "::") && !is_ident(t, i - 1)))) {
+        add_finding("wall-clock", sf, t[i].line, where,
+                    "wall-clock call `" + w + "` outside src/net/; protocol time "
+                    "must come from net::Clock so runs replay deterministically");
       }
     }
   }

@@ -1,0 +1,26 @@
+// Fixture: wall-clock reads outside src/net/ make protocol behaviour
+// depend on the host scheduler instead of replaying from the seeds.
+// Expected exit: 1 (three findings).
+
+namespace std {
+namespace chrono {
+struct steady_clock {
+  static int now();
+};
+struct system_clock {
+  static int now();
+};
+}  // namespace chrono
+}  // namespace std
+
+extern "C" long time(long*);
+
+namespace fixture {
+
+long protocol_deadline() {
+  const int t0 = std::chrono::steady_clock::now();
+  const int t1 = std::chrono::system_clock::now();
+  return t0 + t1 + time(nullptr);
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: the sanctioned way to read time — through the network's
+// virtual clock — plus member calls that merely *look* like time calls.
+// Expected exit: 0.
+
+namespace fixture {
+
+struct SimClock {
+  unsigned long now_us() const;
+};
+
+struct SimNet {
+  SimClock& clock();
+};
+
+struct Span {
+  // A member named like the POSIX call must not trip the free-call check.
+  long time() const;
+};
+
+unsigned long deadline_from(SimNet& net, const Span& span) {
+  return net.clock().now_us() + static_cast<unsigned long>(span.time());
+}
+
+}  // namespace fixture

@@ -103,6 +103,14 @@ TEST(SpfeAnalyzeSelfTest, NetInternalOutsideNetFails) {
   EXPECT_EQ(run_analyze("net_internal_outside.cpp"), 1);
 }
 
+TEST(SpfeAnalyzeSelfTest, WallClockOutsideNetFails) {
+  EXPECT_EQ(run_analyze("wall_clock.cpp"), 1);
+}
+
+TEST(SpfeAnalyzeSelfTest, VirtualClockClean) {
+  EXPECT_EQ(run_analyze("wall_clock_clean.cpp"), 0);
+}
+
 // ---- baseline handling -----------------------------------------------------
 
 TEST(SpfeAnalyzeSelfTest, BaselineSuppressionClean) {
