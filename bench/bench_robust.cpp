@@ -15,8 +15,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <memory>
+#include <optional>
 
 #include "bench_util.h"
+#include "net/adversary.h"
 #include "net/fault.h"
 #include "net/sim.h"
 #include "obs/obs.h"
@@ -37,6 +40,13 @@ constexpr Budget kBudgets[] = {{0, 0}, {1, 0}, {2, 0}, {2, 2}};
 std::string delta_str(std::uint64_t bytes, std::uint64_t base) {
   if (bytes >= base) return "+" + bench::human_bytes(bytes - base);
   return "-" + bench::human_bytes(base - bytes);
+}
+
+std::uint64_t percentile_us(std::vector<std::uint64_t> xs, double q) {
+  std::sort(xs.begin(), xs.end());
+  std::size_t rank = static_cast<std::size_t>(std::ceil(q * static_cast<double>(xs.size())));
+  if (rank > 0) --rank;
+  return xs[std::min(rank, xs.size() - 1)];
 }
 
 }  // namespace
@@ -309,6 +319,122 @@ int main(int argc, char** argv) {
     json.add("itpir_tail_hedged_p99", k, static_cast<double>(hedged_p99) * 1e3, hedged.bytes);
   }
 
+  // --- E10: adversarial overhead (within-budget consistent-lie coalition) ---
+  // Same virtual-time rig as E9, but the threat is strategic rather than
+  // environmental: one controlled server — within the provisioned e = 1
+  // Byzantine budget — forges every answer onto P + delta, the consistent
+  // lie no per-point check can see (net/adversary.h). Because the hedged
+  // client's early-decode quorum is d + 1 + 2e, Berlekamp–Welch corrects
+  // the lie inside the same attempt: soundness against the strategic liar
+  // costs no retries, only the redundancy already provisioned. Both modes
+  // replay the identical per-query latency weather (same SimConfig seeds),
+  // so any p99 gap is attributable to the adversary alone.
+  const std::size_t adv_reps = smoke ? 60 : 400;
+  std::printf("\n== E10: adversarial overhead, hedged clean vs consistent-lie coalition "
+              "(%zu queries, virtual us) ==\n\n",
+              adv_reps);
+  std::uint64_t adv_clean_p99 = 0;
+  std::uint64_t adv_lie_p99 = 0;
+  std::uint64_t adv_bound_us = 0;
+  bool adv_ok = true;
+  {
+    const std::size_t adv_n = smoke ? 256 : 4096;
+    std::vector<std::uint64_t> db(adv_n);
+    for (std::size_t i = 0; i < adv_n; ++i) db[i] = i * 9 + 2;
+    const std::size_t k0 = pir::PolyItPir::min_servers(adv_n, t);
+    const std::size_t d = k0 - 1;
+    const std::size_t e_budget = 1;
+    const std::size_t spares = 2;
+    const std::size_t k = net::provisioned_servers(d, e_budget, 0, spares);
+    const pir::PolyItPir p(field, adv_n, k, t);
+    const crypto::Prg meta("e10-adv");
+    // Healthy fleet with mild occasional straggle — the adversary, not the
+    // weather, should be the story here.
+    const std::vector<net::ServerProfile> profiles(k, net::ServerProfile{200, 100, 10, 3});
+
+    struct AdvRun {
+      std::vector<std::uint64_t> completion_us;
+      std::uint64_t attempts = 0;
+      std::uint64_t corrected = 0;
+      std::uint64_t forged = 0;
+      std::uint64_t bytes = 0;
+      bool exact = true;
+    };
+    auto run_mode = [&](bool lie) {
+      AdvRun out;
+      for (std::size_t q = 0; q < adv_reps; ++q) {
+        net::SimConfig cfg;
+        cfg.seed = meta.fork_seed("net-" + std::to_string(q));  // same weather both modes
+        cfg.profiles = profiles;
+        net::SimStarNetwork net(k, cfg);
+        std::optional<net::AdversaryEngine> engine;
+        if (lie) {
+          engine.emplace(
+              std::make_shared<net::ConsistentLieStrategy>(field.modulus(), 424242),
+              std::vector<std::size_t>{0});
+          net.set_adversary(&*engine);
+        }
+        net::RobustConfig rc;
+        rc.timing.enabled = true;
+        rc.timing.attempt_timeout_us = 50'000;
+        rc.timing.hedge_timeout_us = 600;
+        rc.timing.hedge_spares = spares;
+        rc.timing.byzantine_budget = e_budget;
+        rc.timing.backoff_seed = meta.fork_seed("backoff-" + std::to_string(q));
+        adv_bound_us = rc.timing.attempt_timeout_us + rc.timing.backoff_max_us;
+        crypto::Prg prg =
+            meta.fork((lie ? "proto-lie-" : "proto-clean-") + std::to_string(q));
+        const std::size_t index = (q * 6133 + 11) % adv_n;
+        try {
+          const net::RobustResult r = p.run_robust(net, db, index, spir_seed, prg, rc);
+          if (r.value != db[index]) out.exact = false;
+          out.completion_us.push_back(r.report.completion_us);
+          out.attempts += r.report.attempts;
+          out.corrected += r.report.errors_corrected;
+        } catch (const net::RobustProtocolError&) {
+          out.exact = false;
+          out.completion_us.push_back(rc.timing.attempt_timeout_us * rc.max_attempts);
+        }
+        if (engine.has_value()) out.forged += engine->total_stats().answers_forged;
+        out.bytes = net.stats().total_bytes();
+      }
+      return out;
+    };
+
+    const AdvRun clean = run_mode(false);
+    const AdvRun lied = run_mode(true);
+    adv_clean_p99 = percentile_us(clean.completion_us, 0.99);
+    adv_lie_p99 = percentile_us(lied.completion_us, 0.99);
+    adv_ok = clean.exact && lied.exact && lied.forged > 0 && lied.corrected > 0;
+
+    bench::Table table({"mode", "k", "e", "p50 us", "p95 us", "p99 us", "attempts/query",
+                        "forged", "corrected", "exact"});
+    table.add({"clean", std::to_string(k), std::to_string(e_budget),
+               bench::fmt_u(percentile_us(clean.completion_us, 0.50)),
+               bench::fmt_u(percentile_us(clean.completion_us, 0.95)),
+               bench::fmt_u(adv_clean_p99),
+               bench::fmt("%.2f",
+                          static_cast<double>(clean.attempts) / static_cast<double>(adv_reps)),
+               bench::fmt_u(clean.forged), bench::fmt_u(clean.corrected),
+               clean.exact ? "yes" : "WRONG"});
+    table.add({"consistent-lie", std::to_string(k), std::to_string(e_budget),
+               bench::fmt_u(percentile_us(lied.completion_us, 0.50)),
+               bench::fmt_u(percentile_us(lied.completion_us, 0.95)),
+               bench::fmt_u(adv_lie_p99),
+               bench::fmt("%.2f",
+                          static_cast<double>(lied.attempts) / static_cast<double>(adv_reps)),
+               bench::fmt_u(lied.forged), bench::fmt_u(lied.corrected),
+               lied.exact ? "yes" : "WRONG"});
+    table.print();
+
+    json.add("itpir_adv_clean_p50", k,
+             static_cast<double>(percentile_us(clean.completion_us, 0.50)) * 1e3, clean.bytes);
+    json.add("itpir_adv_clean_p99", k, static_cast<double>(adv_clean_p99) * 1e3, clean.bytes);
+    json.add("itpir_adv_lie_p50", k,
+             static_cast<double>(percentile_us(lied.completion_us, 0.50)) * 1e3, lied.bytes);
+    json.add("itpir_adv_lie_p99", k, static_cast<double>(adv_lie_p99) * 1e3, lied.bytes);
+  }
+
   json.write();
 
   // CI gate: hedging must at least halve the p99 (and every query must have
@@ -319,5 +445,16 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(unhedged_p99),
               tail_ok ? "" : " (and a query decoded a WRONG value)",
               gate_ok ? "PASS" : "FAIL");
-  return gate_ok ? 0 : 1;
+  // E10 gate: a within-budget consistent-lie coalition may cost at most one
+  // extra attempt (timeout + max backoff) of hedged p99 — and must never
+  // push the client off the exact value. In practice Berlekamp–Welch
+  // corrects the lie in-attempt and the two runs' virtual times coincide.
+  const bool adv_gate_ok = adv_ok && adv_lie_p99 <= adv_clean_p99 + adv_bound_us;
+  std::printf("E10 gate: consistent-lie p99 %llu us %s clean p99 %llu us + %llu us bound%s — %s\n",
+              static_cast<unsigned long long>(adv_lie_p99), adv_gate_ok ? "<=" : ">",
+              static_cast<unsigned long long>(adv_clean_p99),
+              static_cast<unsigned long long>(adv_bound_us),
+              adv_ok ? "" : " (exactness/forgery-correction check FAILED)",
+              adv_gate_ok ? "PASS" : "FAIL");
+  return (gate_ok && adv_gate_ok) ? 0 : 1;
 }

@@ -48,4 +48,14 @@ class ServerUnavailable : public ProtocolError {
   explicit ServerUnavailable(const std::string& what) : ProtocolError(what) {}
 };
 
+// A message IS in flight but missed the receiver's deadline — a straggler,
+// not a crash. Subtype of ServerUnavailable so erasure handling is shared,
+// while blame classification (net/robust.h) can tell "slow" from "gone":
+// a straggler may still deliver on a later receive, a crashed channel never
+// will.
+class DeadlineMiss : public ServerUnavailable {
+ public:
+  explicit DeadlineMiss(const std::string& what) : ServerUnavailable(what) {}
+};
+
 }  // namespace spfe

@@ -85,6 +85,17 @@ struct RsDecoding {
     }
     return n;
   }
+
+  // Indices (into the decoder's input point list) whose y did not lie on
+  // the decoded polynomial — the per-point Byzantine blame a robust caller
+  // maps back to server identities (net/robust.h).
+  std::vector<std::size_t> error_positions() const {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < agrees.size(); ++i) {
+      if (!agrees[i]) out.push_back(i);
+    }
+    return out;
+  }
 };
 
 // Decodes (xs[i], ys[i]) as a degree <= d polynomial with at most

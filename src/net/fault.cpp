@@ -4,6 +4,9 @@
 #include <string>
 #include <utility>
 
+#include "net/adversary.h"
+#include "obs/obs.h"
+
 namespace spfe::net {
 
 const char* fault_kind_name(FaultKind kind) {
@@ -168,19 +171,19 @@ bool FaultyStarNetwork::server_crashed(std::size_t s) const {
 }
 
 void FaultyStarNetwork::deliver(std::deque<Bytes>& queue, std::deque<bool>& delayed,
-                                const Fault* fault, Bytes message) {
+                                const Fault* fault, Bytes message, bool force_delayed) {
   switch (apply_fault(fault, message)) {
     case FaultAction::kDrop:
       return;
     case FaultAction::kDeliver:
       queue.push_back(std::move(message));
-      delayed.push_back(false);
+      delayed.push_back(force_delayed);
       return;
     case FaultAction::kDeliverTwice:
       queue.push_back(message);
-      delayed.push_back(false);
+      delayed.push_back(force_delayed);
       queue.push_back(std::move(message));
-      delayed.push_back(false);
+      delayed.push_back(force_delayed);
       return;
     case FaultAction::kDeliverDelayed:
       queue.push_back(std::move(message));
@@ -203,11 +206,33 @@ void FaultyStarNetwork::client_send(std::size_t s, Bytes message) {
 void FaultyStarNetwork::server_send(std::size_t s, Bytes message) {
   check_server(s);
   if (server_crashed(s)) return;  // a dead server transmits nothing: unmetered
+  bool adv_delayed = false;
+  if (adversary_ != nullptr && adversary_->controls(s)) {
+    AdversaryAction action = adversary_->intercept_answer(s, message, 0);
+    switch (action.kind) {
+      case AdversaryAction::Kind::kSendHonest:
+        break;
+      case AdversaryAction::Kind::kReplace:
+        // A forged answer is a real transmission, metered at its own size.
+        message = std::move(action.replacement);
+        obs::count(obs::Op::kAdvForgedAnswer);
+        break;
+      case AdversaryAction::Kind::kDrop:
+        // Byzantine silence: nothing transmitted, nothing metered — the wire
+        // cannot distinguish it from a crash.
+        obs::count(obs::Op::kAdvDroppedAnswer);
+        return;
+      case AdversaryAction::Kind::kDelay:
+        adv_delayed = true;
+        obs::count(obs::Op::kAdvDelayedAnswer);
+        break;
+    }
+  }
   meter_send(Direction::kServerToClient, message.size());
   ++server_ops_[s];
   std::size_t ordinal = server_ordinal_[s]++;
   deliver(to_client_[s], to_client_delayed_[s],
-          plan_.find(Direction::kServerToClient, s, ordinal), std::move(message));
+          plan_.find(Direction::kServerToClient, s, ordinal), std::move(message), adv_delayed);
 }
 
 Bytes FaultyStarNetwork::server_receive(std::size_t s) {
@@ -226,7 +251,7 @@ Bytes FaultyStarNetwork::server_receive(std::size_t s) {
   }
   if (to_server_delayed_[s].front()) {
     to_server_delayed_[s].front() = false;
-    throw ServerUnavailable(
+    throw DeadlineMiss(
         "FaultyStarNetwork: message to server delayed past the round deadline (" +
         channel_state(s) + ")");
   }
@@ -234,6 +259,9 @@ Bytes FaultyStarNetwork::server_receive(std::size_t s) {
   to_server_[s].pop_front();
   to_server_delayed_[s].pop_front();
   ++server_ops_[s];
+  if (adversary_ != nullptr && adversary_->controls(s)) {
+    adversary_->observe_query(s, m, 0);
+  }
   return m;
 }
 
@@ -245,7 +273,7 @@ Bytes FaultyStarNetwork::client_receive(std::size_t s) {
   }
   if (to_client_delayed_[s].front()) {
     to_client_delayed_[s].front() = false;
-    throw ServerUnavailable(
+    throw DeadlineMiss(
         "FaultyStarNetwork: answer from server " + std::to_string(s) +
         " delayed past the round deadline (" + channel_state(s) + ")");
   }

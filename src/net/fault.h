@@ -32,6 +32,8 @@
 
 namespace spfe::net {
 
+class AdversaryEngine;  // net/adversary.h
+
 enum class FaultKind : std::uint8_t {
   kDrop,
   kCorruptByte,
@@ -119,12 +121,21 @@ class FaultyStarNetwork : public StarNetwork {
   bool server_crashed(std::size_t s) const;
   const FaultPlan& plan() const { return plan_; }
 
+  // Adaptive adversary interposition (net/adversary.h): controlled servers
+  // observe every query and choose per answer to send / forge / drop /
+  // delay. Non-owning — the engine must outlive the network. Over this
+  // untimed network kDelay degrades to the one-attempt delayed mark, same
+  // as FaultKind::kDelayHalfRound.
+  void set_adversary(AdversaryEngine* engine) { adversary_ = engine; }
+  const AdversaryEngine* adversary() const { return adversary_; }
+
  private:
   // Applies a fault to `message` and enqueues the result (or doesn't).
   void deliver(std::deque<Bytes>& queue, std::deque<bool>& delayed, const Fault* fault,
-               Bytes message);
+               Bytes message, bool force_delayed = false);
 
   FaultPlan plan_;
+  AdversaryEngine* adversary_ = nullptr;
   std::vector<std::size_t> client_ordinal_;  // messages sent client -> s
   std::vector<std::size_t> server_ordinal_;  // messages sent s -> client
   std::vector<std::size_t> server_ops_;      // completed receives + sends per server

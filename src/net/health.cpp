@@ -21,6 +21,34 @@ void ServerHealthTracker::observe(const RobustnessReport& report) {
     throw InvalidArgument("ServerHealthTracker: report covers a different server count");
   }
   ++queries_;
+  // Penalties come from *every* attempt, not just the last one: a server
+  // caught lying by Berlekamp–Welch on attempt 0 is still a liar when the
+  // retry happens to succeed without exposing it, and must not keep its
+  // healthy-first send priority. The final attempt is handled below (its
+  // verdicts are `report.verdicts`), where recovery credit and latency
+  // samples are also taken.
+  for (std::size_t a = 0; a + 1 < report.history.size(); ++a) {
+    const AttemptRecord& rec = report.history[a];
+    if (rec.verdicts.size() != demerits_.size()) {
+      throw InvalidArgument("ServerHealthTracker: attempt covers a different server count");
+    }
+    for (std::size_t s = 0; s < rec.verdicts.size(); ++s) {
+      switch (rec.verdicts[s].fate) {
+        case ServerFate::kOk:
+        case ServerFate::kSpare:
+          break;  // recovery is credited from the final verdicts only
+        case ServerFate::kUnavailable:
+          demerits_[s] += kUnavailableDemerit;
+          break;
+        case ServerFate::kMalformed:
+          demerits_[s] += kMalformedDemerit;
+          break;
+        case ServerFate::kCorrected:
+          demerits_[s] += kCorrectedDemerit;
+          break;
+      }
+    }
+  }
   for (std::size_t s = 0; s < report.verdicts.size(); ++s) {
     const ServerReport& v = report.verdicts[s];
     switch (v.fate) {

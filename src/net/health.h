@@ -36,8 +36,12 @@ class ServerHealthTracker {
 
   std::size_t num_servers() const { return demerits_.size(); }
 
-  // Folds one finished query's final-attempt verdicts into the session
-  // state. Reports for a different server count are rejected.
+  // Folds one finished query's report into the session state: demerit
+  // penalties from every attempt in `report.history` (a lie caught on an
+  // early attempt counts even when the retry succeeded; reports without
+  // history fall back to the final verdicts), recovery credit and latency
+  // samples from the final-attempt verdicts. Reports for a different
+  // server count are rejected.
   void observe(const RobustnessReport& report);
 
   std::uint64_t demerits(std::size_t s) const;

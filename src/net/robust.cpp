@@ -20,6 +20,20 @@ const char* server_fate_name(ServerFate fate) {
   return "?";
 }
 
+const char* blame_name(Blame blame) {
+  switch (blame) {
+    case Blame::kNone:
+      return "none";
+    case Blame::kByzantine:
+      return "byzantine";
+    case Blame::kCrashed:
+      return "crashed";
+    case Blame::kStraggler:
+      return "straggler";
+  }
+  return "?";
+}
+
 namespace {
 
 void append_verdict_lines(std::string& out, const std::vector<ServerReport>& verdicts,
@@ -29,6 +43,9 @@ void append_verdict_lines(std::string& out, const std::vector<ServerReport>& ver
     out += "\n";
     out += indent;
     out += "server " + std::to_string(s) + ": " + server_fate_name(verdicts[s].fate);
+    if (verdicts[s].blame != Blame::kNone) {
+      out += " blame=" + std::string(blame_name(verdicts[s].blame));
+    }
     if (!verdicts[s].detail.empty()) out += " (" + verdicts[s].detail + ")";
     if (verdicts[s].answer_us > 0) {
       out += " [answer at +" + std::to_string(verdicts[s].answer_us) + "us]";
@@ -125,6 +142,31 @@ std::vector<std::size_t> resolve_send_order(const TimingPolicy& tp, std::size_t 
     seen[s] = 1;
   }
   return tp.send_order;
+}
+
+std::vector<std::size_t> deprioritize_blamed(const std::vector<std::size_t>& order,
+                                             const std::vector<ServerReport>& verdicts) {
+  // Culpability rank: no evidence < slow < silent < caught lying. A liar is
+  // the worst retry candidate — it *will* spend error budget again — while
+  // a straggler may simply have been unlucky.
+  const auto rank = [&](std::size_t s) -> int {
+    if (s >= verdicts.size()) return 0;
+    switch (verdicts[s].blame) {
+      case Blame::kNone:
+        return 0;
+      case Blame::kStraggler:
+        return 1;
+      case Blame::kCrashed:
+        return 2;
+      case Blame::kByzantine:
+        return 3;
+    }
+    return 0;
+  };
+  std::vector<std::size_t> out = order;
+  std::stable_sort(out.begin(), out.end(),
+                   [&](std::size_t a, std::size_t b) { return rank(a) < rank(b); });
+  return out;
 }
 
 }  // namespace detail

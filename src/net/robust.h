@@ -64,12 +64,29 @@ enum class ServerFate : std::uint8_t {
 
 const char* server_fate_name(ServerFate fate);
 
+// *Why* a server earned its fate — the culpability axis the fate alone
+// conflates: kUnavailable covers both a crashed channel (nothing will ever
+// arrive) and a straggler (the answer is in flight but late), and both
+// kMalformed and kCorrected are evidence of a lying server. Operators page
+// on byzantine, wait out stragglers, and replace crashes; the health
+// tracker (net/health.h) prices the three differently.
+enum class Blame : std::uint8_t {
+  kNone,       // ok, or held in reserve: no evidence against the server
+  kByzantine,  // caught lying: off-polynomial answer, unparseable answer,
+               // or a rejected query on a channel that delivered it
+  kCrashed,    // silent: nothing in flight when the client gave up
+  kStraggler,  // slow: an answer was in flight but missed a deadline
+};
+
+const char* blame_name(Blame blame);
+
 struct ServerReport {
   ServerFate fate = ServerFate::kOk;
   std::string detail;
   // Virtual-time answer latency (receive - attempt start), 0 when the
   // answer never arrived or the network is untimed.
   std::uint64_t answer_us = 0;
+  Blame blame = Blame::kNone;
 };
 
 // One attempt's complete outcome, kept so a failed run is diagnosable from
@@ -183,6 +200,15 @@ std::uint64_t backoff_wait_us(const TimingPolicy& tp, std::size_t attempt);
 // Validated send order: identity when unset.
 std::vector<std::size_t> resolve_send_order(const TimingPolicy& tp, std::size_t k);
 
+// Re-ranks `order` by the blame a failed attempt assigned: unblamed servers
+// first, then stragglers, then crashed, then caught liars — so a retry's
+// primaries (the head of the order) and hedge spares are drawn from
+// honest-looking replicas before servers with evidence against them. The
+// sort is stable: within one blame class the incoming (healthy-first)
+// order is preserved.
+std::vector<std::size_t> deprioritize_blamed(const std::vector<std::size_t>& order,
+                                             const std::vector<ServerReport>& verdicts);
+
 }  // namespace detail
 
 // Runs one robust exchange. Callbacks:
@@ -216,11 +242,18 @@ std::pair<typename F::value_type, RobustnessReport> run_robust_star(
       Bytes query = net.server_receive(s);
       Bytes ans = server_eval(s, attempt, std::move(query));
       net.server_send(s, std::move(ans));
+    } catch (const DeadlineMiss& e) {
+      report.verdicts[s] = {ServerFate::kUnavailable, e.what(), 0, Blame::kStraggler};
     } catch (const ServerUnavailable& e) {
-      report.verdicts[s] = {ServerFate::kUnavailable, e.what()};
+      report.verdicts[s] = {ServerFate::kUnavailable, e.what(), 0, Blame::kCrashed};
     } catch (const Error& e) {
+      // The channel delivered a query this server refused: either the wire
+      // corrupted it or the server is lying about it — blamed on the server,
+      // matching how FaultPlan::random charges query corruption to its
+      // byzantine set.
       report.verdicts[s] = {ServerFate::kMalformed,
-                            std::string("server rejected query: ") + e.what()};
+                            std::string("server rejected query: ") + e.what(), 0,
+                            Blame::kByzantine};
     }
     // Flush duplicate queries so they cannot shadow the next attempt.
     while (net.server_has_message(s)) {
@@ -265,11 +298,14 @@ std::pair<typename F::value_type, RobustnessReport> run_robust_star(
             xs.push_back(abscissae[s]);
             ys.push_back(y);
             owners.push_back(s);
+          } catch (const DeadlineMiss& e) {
+            report.verdicts[s] = {ServerFate::kUnavailable, e.what(), 0, Blame::kStraggler};
           } catch (const ServerUnavailable& e) {
-            report.verdicts[s] = {ServerFate::kUnavailable, e.what()};
+            report.verdicts[s] = {ServerFate::kUnavailable, e.what(), 0, Blame::kCrashed};
           } catch (const Error& e) {
             report.verdicts[s] = {ServerFate::kMalformed,
-                                  std::string("unparseable answer: ") + e.what()};
+                                  std::string("unparseable answer: ") + e.what(), 0,
+                                  Blame::kByzantine};
           }
         }
         while (net.client_has_message(s)) {
@@ -283,11 +319,10 @@ std::pair<typename F::value_type, RobustnessReport> run_robust_star(
       if (xs.size() >= degree + 1) {
         const auto decoding = field::decode_with_erasures(field, xs, ys, degree);
         if (decoding.has_value()) {
-          for (std::size_t i = 0; i < owners.size(); ++i) {
-            if (!decoding->agrees[i]) {
-              report.verdicts[owners[i]] = {ServerFate::kCorrected,
-                                            "answer did not lie on the decoded polynomial"};
-            }
+          for (const std::size_t i : decoding->error_positions()) {
+            report.verdicts[owners[i]] = {ServerFate::kCorrected,
+                                          "answer did not lie on the decoded polynomial", 0,
+                                          Blame::kByzantine};
           }
           report.success = true;
           report.erasures = k - xs.size();
@@ -325,7 +360,7 @@ std::pair<typename F::value_type, RobustnessReport> run_robust_star(
   if (k < decode_quorum) {
     throw InvalidArgument("run_robust_star: fewer servers than the decode quorum needs");
   }
-  const std::vector<std::size_t> order = detail::resolve_send_order(tp, k);
+  std::vector<std::size_t> order = detail::resolve_send_order(tp, k);
   // Hedging never cuts the primaries below the decode quorum.
   const std::size_t spares =
       tp.hedge_timeout_us == 0 ? 0 : std::min(tp.hedge_spares, k - decode_quorum);
@@ -345,6 +380,10 @@ std::pair<typename F::value_type, RobustnessReport> run_robust_star(
       // Stale in-flight answers from the previous attempt are abandoned
       // without waiting for them.
       sim->discard_in_flight();
+      // Retries learn from the failed attempt's blame: servers caught lying
+      // or crashed go to the back of the order, so this attempt's primaries
+      // and hedge spares come from honest-looking replicas first.
+      order = detail::deprioritize_blamed(order, report.history.back().verdicts);
     }
     report.attempts = attempt + 1;
     report.verdicts.assign(k, ServerReport{});
@@ -365,8 +404,11 @@ std::pair<typename F::value_type, RobustnessReport> run_robust_star(
     std::optional<V> value;
 
     // Collects one answer; on a parse failure sets the malformed verdict.
+    // On a timeout, `timeout_blame` says whether the answer is merely late
+    // (in flight past the deadline) or will never come (crashed channel).
     enum class Collect { kGot, kTimeout, kBad };
-    const auto collect = [&](std::size_t s, std::string* timeout_detail) -> Collect {
+    const auto collect = [&](std::size_t s, std::string* timeout_detail,
+                             Blame* timeout_blame) -> Collect {
       try {
         const Bytes answer = net.client_receive(s);
         const V y = parse_answer(answer);
@@ -376,12 +418,18 @@ std::pair<typename F::value_type, RobustnessReport> run_robust_star(
         collected[s] = 1;
         report.verdicts[s].answer_us = sim->last_delivery_us() - rec.started_us;
         return Collect::kGot;
+      } catch (const DeadlineMiss& e) {
+        if (timeout_detail != nullptr) *timeout_detail = e.what();
+        if (timeout_blame != nullptr) *timeout_blame = Blame::kStraggler;
+        return Collect::kTimeout;
       } catch (const ServerUnavailable& e) {
         if (timeout_detail != nullptr) *timeout_detail = e.what();
+        if (timeout_blame != nullptr) *timeout_blame = Blame::kCrashed;
         return Collect::kTimeout;
       } catch (const Error& e) {
         report.verdicts[s] = {ServerFate::kMalformed,
-                              std::string("unparseable answer: ") + e.what()};
+                              std::string("unparseable answer: ") + e.what(), 0,
+                              Blame::kByzantine};
         return Collect::kBad;
       }
     };
@@ -389,12 +437,10 @@ std::pair<typename F::value_type, RobustnessReport> run_robust_star(
       if (value.has_value() || xs.size() < decode_quorum) return;
       const auto decoding = field::decode_with_erasures(field, xs, ys, degree);
       if (!decoding.has_value()) return;
-      for (std::size_t i = 0; i < owners.size(); ++i) {
-        if (!decoding->agrees[i]) {
-          report.verdicts[owners[i]] = {ServerFate::kCorrected,
-                                        "answer did not lie on the decoded polynomial",
-                                        report.verdicts[owners[i]].answer_us};
-        }
+      for (const std::size_t i : decoding->error_positions()) {
+        report.verdicts[owners[i]] = {ServerFate::kCorrected,
+                                      "answer did not lie on the decoded polynomial",
+                                      report.verdicts[owners[i]].answer_us, Blame::kByzantine};
       }
       report.errors_corrected = decoding->num_errors();
       value = decoding->eval(field, field.zero());
@@ -416,11 +462,12 @@ std::pair<typename F::value_type, RobustnessReport> run_robust_star(
       const std::size_t s = order[i];
       if (report.verdicts[s].fate != ServerFate::kOk) continue;
       std::string detail_msg;
-      if (collect(s, &detail_msg) == Collect::kTimeout) {
+      Blame timeout_blame = Blame::kCrashed;
+      if (collect(s, &detail_msg, &timeout_blame) == Collect::kTimeout) {
         if (hedging) {
           stragglers.push_back(s);  // the hedge may still beat it
         } else {
-          report.verdicts[s] = {ServerFate::kUnavailable, detail_msg};
+          report.verdicts[s] = {ServerFate::kUnavailable, detail_msg, 0, timeout_blame};
         }
       }
     }
@@ -453,7 +500,7 @@ std::pair<typename F::value_type, RobustnessReport> run_robust_star(
       for (const std::size_t s : dispatched) {
         if (report.verdicts[s].fate != ServerFate::kOk) continue;
         if (value.has_value()) break;
-        if (collect(s, nullptr) == Collect::kGot) {
+        if (collect(s, nullptr, nullptr) == Collect::kGot) {
           obs::count(obs::Op::kHedgeWon);
           try_decode();
         } else {
@@ -478,32 +525,37 @@ std::pair<typename F::value_type, RobustnessReport> run_robust_star(
         const std::size_t s = waiting[pos];
         waiting.erase(waiting.begin() + static_cast<std::ptrdiff_t>(pos));
         std::string detail_msg;
-        const Collect got = collect(s, &detail_msg);
+        Blame timeout_blame = Blame::kCrashed;
+        const Collect got = collect(s, &detail_msg, &timeout_blame);
         if (got == Collect::kGot) {
           const bool was_spare =
               std::find(stragglers.begin(), stragglers.end(), s) == stragglers.end();
           if (was_spare) obs::count(obs::Op::kHedgeWon);
           try_decode();
         } else if (got == Collect::kTimeout) {
-          report.verdicts[s] = {ServerFate::kUnavailable, detail_msg};
+          report.verdicts[s] = {ServerFate::kUnavailable, detail_msg, 0, timeout_blame};
         }
       }
     }
 
-    // Final bookkeeping for everything still unresolved.
+    // Final bookkeeping for everything still unresolved. Servers abandoned
+    // once the quorum was in were never observed crashed — their answers may
+    // still be in flight, so the blame stays "straggler".
     for (const std::size_t s : stragglers) {
       if (collected[s] != 0 || report.verdicts[s].fate != ServerFate::kOk) continue;
       report.verdicts[s] = {ServerFate::kUnavailable,
                             value.has_value()
                                 ? "straggler abandoned: quorum reached without it"
-                                : "no usable answer before the attempt deadline"};
+                                : "no usable answer before the attempt deadline",
+                            0, Blame::kStraggler};
     }
     for (const std::size_t s : dispatched) {
       if (collected[s] != 0 || report.verdicts[s].fate != ServerFate::kOk) continue;
       report.verdicts[s] = {ServerFate::kUnavailable,
                             value.has_value()
                                 ? "hedge answer abandoned: quorum reached without it"
-                                : "hedge answer missed the attempt deadline"};
+                                : "hedge answer missed the attempt deadline",
+                            0, Blame::kStraggler};
     }
     for (std::size_t i = num_primaries; i < k; ++i) {
       const std::size_t s = order[i];

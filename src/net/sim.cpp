@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "net/adversary.h"
 #include "obs/obs.h"
 
 namespace spfe::net {
@@ -130,11 +131,12 @@ void SimStarNetwork::discard_in_flight() {
 }
 
 void SimStarNetwork::enqueue(std::size_t s, Direction direction, const Fault* fault,
-                             Bytes message, std::uint64_t depart_us, std::uint64_t ordinal) {
+                             Bytes message, std::uint64_t depart_us, std::uint64_t ordinal,
+                             std::uint64_t extra_us) {
   const FaultAction action = apply_fault(fault, message);
   if (action == FaultAction::kDrop) return;
   if (model_.in_outage(s, depart_us)) return;  // link down: transmission lost
-  std::uint64_t ready = depart_us + model_.sample_us(direction, s, ordinal);
+  std::uint64_t ready = depart_us + model_.sample_us(direction, s, ordinal) + extra_us;
   if (action == FaultAction::kDeliverDelayed) ready += config_.delay_fault_penalty_us;
   auto& queue = direction == Direction::kClientToServer ? to_server_[s] : to_client_[s];
   auto& stamps =
@@ -161,11 +163,33 @@ void SimStarNetwork::client_send(std::size_t s, Bytes message) {
 void SimStarNetwork::server_send(std::size_t s, Bytes message) {
   check_server(s);
   if (server_crashed(s)) return;  // a dead server transmits nothing: unmetered
+  std::uint64_t adv_extra_us = 0;
+  if (adversary_ != nullptr && adversary_->controls(s)) {
+    AdversaryAction action = adversary_->intercept_answer(s, message, server_now_us_[s]);
+    switch (action.kind) {
+      case AdversaryAction::Kind::kSendHonest:
+        break;
+      case AdversaryAction::Kind::kReplace:
+        // A forged answer is a real transmission, metered at its own size.
+        message = std::move(action.replacement);
+        obs::count(obs::Op::kAdvForgedAnswer);
+        break;
+      case AdversaryAction::Kind::kDrop:
+        // Byzantine silence: nothing transmitted, nothing metered — the wire
+        // cannot distinguish it from a crash.
+        obs::count(obs::Op::kAdvDroppedAnswer);
+        return;
+      case AdversaryAction::Kind::kDelay:
+        adv_extra_us = action.delay_us;
+        obs::count(obs::Op::kAdvDelayedAnswer);
+        break;
+    }
+  }
   meter_send(Direction::kServerToClient, message.size());
   ++server_ops_[s];
   const std::uint64_t ordinal = server_ordinal_[s]++;
   enqueue(s, Direction::kServerToClient, plan_.find(Direction::kServerToClient, s, ordinal),
-          std::move(message), server_now_us_[s], ordinal);
+          std::move(message), server_now_us_[s], ordinal, adv_extra_us);
 }
 
 Bytes SimStarNetwork::server_receive(std::size_t s) {
@@ -187,6 +211,9 @@ Bytes SimStarNetwork::server_receive(std::size_t s) {
   server_now_us_[s] = std::max(server_now_us_[s], to_server_ready_[s].front());
   to_server_ready_[s].pop_front();
   ++server_ops_[s];
+  if (adversary_ != nullptr && adversary_->controls(s)) {
+    adversary_->observe_query(s, m, server_now_us_[s]);
+  }
   return m;
 }
 
@@ -205,9 +232,9 @@ Bytes SimStarNetwork::client_receive(std::size_t s) {
     // Leave it queued — a later receive with a longer deadline gets it.
     clock_.advance_to(deadline_us_);
     obs::count(obs::Op::kDeadlineMiss);
-    throw ServerUnavailable("SimStarNetwork: answer from server " + std::to_string(s) +
-                            " missed the deadline (ready at " + std::to_string(ready) +
-                            "us, deadline " + std::to_string(deadline_us_) + "us)");
+    throw DeadlineMiss("SimStarNetwork: answer from server " + std::to_string(s) +
+                       " missed the deadline (ready at " + std::to_string(ready) +
+                       "us, deadline " + std::to_string(deadline_us_) + "us)");
   }
   clock_.advance_to(ready);
   last_delivery_us_ = ready;

@@ -49,6 +49,8 @@
 
 namespace spfe::net {
 
+class AdversaryEngine;  // net/adversary.h
+
 // Abstract time source. Protocol code outside src/net/ takes time from here
 // (or not at all) — never from std::chrono wall clocks.
 class Clock {
@@ -138,6 +140,13 @@ class SimStarNetwork : public StarNetwork {
   const LatencyModel& latency_model() const { return model_; }
   const FaultPlan& plan() const { return plan_; }
 
+  // Adaptive adversary interposition (net/adversary.h): controlled servers
+  // see every query they receive and decide what to do with every answer
+  // they are about to send (send / forge / drop / delay). Non-owning — the
+  // engine must outlive the network. Nullptr disables interposition.
+  void set_adversary(AdversaryEngine* engine) { adversary_ = engine; }
+  const AdversaryEngine* adversary() const { return adversary_; }
+
   // Deadline applied to subsequent client receives (kNoDeadline = block
   // until the message is ready). Deadlines only gate the client — the
   // driver of the star protocols — because that is where timeout policy
@@ -169,12 +178,13 @@ class SimStarNetwork : public StarNetwork {
 
  private:
   void enqueue(std::size_t s, Direction direction, const Fault* fault, Bytes message,
-               std::uint64_t depart_us, std::uint64_t ordinal);
+               std::uint64_t depart_us, std::uint64_t ordinal, std::uint64_t extra_us = 0);
 
   SimClock clock_;
   SimConfig config_;
   LatencyModel model_;
   FaultPlan plan_;
+  AdversaryEngine* adversary_ = nullptr;
   std::uint64_t deadline_us_ = kNoDeadline;
   std::uint64_t last_delivery_us_ = 0;
   std::vector<std::uint64_t> server_now_us_;  // per-server local timelines

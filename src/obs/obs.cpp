@@ -97,6 +97,9 @@ const char* op_name(Op op) {
     case Op::kHedgeSent: return "hedge_sent";
     case Op::kHedgeWon: return "hedge_won";
     case Op::kBackoffWait: return "backoff_wait";
+    case Op::kAdvForgedAnswer: return "adv_forged_answer";
+    case Op::kAdvDroppedAnswer: return "adv_dropped_answer";
+    case Op::kAdvDelayedAnswer: return "adv_delayed_answer";
   }
   return "unknown";
 }

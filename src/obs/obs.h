@@ -64,8 +64,11 @@ enum class Op : std::uint8_t {
   kHedgeSent,           // hedge queries dispatched to spare servers
   kHedgeWon,            // hedge answers that arrived and were used
   kBackoffWait,         // retry backoff waits (virtual-time sleeps)
+  kAdvForgedAnswer,     // answers replaced by an adversary strategy
+  kAdvDroppedAnswer,    // answers suppressed (byzantine silence)
+  kAdvDelayedAnswer,    // answers deliberately straggled
 };
-inline constexpr std::size_t kNumOps = 23;
+inline constexpr std::size_t kNumOps = 26;
 
 const char* op_name(Op op);
 

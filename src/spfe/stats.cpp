@@ -253,7 +253,8 @@ RobustStatsSession::RobustStatsSession(field::Fp64 field, std::size_t n, std::si
       proto_(field, n, m, num_servers, threshold),
       config_(config),
       prg_(session_seed),
-      health_(num_servers) {
+      health_(num_servers),
+      blame_(num_servers) {
   if (config_.max_attempts == 0) {
     throw InvalidArgument("RobustStatsSession: max_attempts must be >= 1");
   }
@@ -293,11 +294,42 @@ net::RobustResult RobustStatsSession::run_one(net::StarNetwork& net,
   try {
     net::RobustResult result = proto_.run_robust(net, database, indices, spir_seed, qprg, cfg);
     health_.observe(result.report);
+    tally_blame(result.report);
     return result;
   } catch (const net::RobustProtocolError& e) {
     // A terminal failure is still evidence about who misbehaved.
     health_.observe(e.report());
+    tally_blame(e.report());
     throw;
+  }
+}
+
+void RobustStatsSession::tally_blame(const net::RobustnessReport& report) {
+  // Every attempt counts: a liar exposed on attempt 0 stays in the tally
+  // when the retry succeeds. Reports without history (untimed single-shot
+  // paths) contribute their final verdicts once.
+  std::vector<const std::vector<net::ServerReport>*> attempts;
+  if (report.history.empty()) {
+    attempts.push_back(&report.verdicts);
+  } else {
+    for (const net::AttemptRecord& rec : report.history) attempts.push_back(&rec.verdicts);
+  }
+  for (const auto* verdicts : attempts) {
+    for (std::size_t s = 0; s < verdicts->size() && s < blame_.size(); ++s) {
+      switch ((*verdicts)[s].blame) {
+        case net::Blame::kNone:
+          break;
+        case net::Blame::kByzantine:
+          ++blame_[s].byzantine;
+          break;
+        case net::Blame::kCrashed:
+          ++blame_[s].crashed;
+          break;
+        case net::Blame::kStraggler:
+          ++blame_[s].straggler;
+          break;
+      }
+    }
   }
 }
 

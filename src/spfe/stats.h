@@ -109,6 +109,18 @@ struct RobustStatsConfig {
   std::uint64_t backoff_max_us = 32'000;
 };
 
+// Per-server culpability counters accumulated across every attempt of every
+// query in a session (the session-level view of net::Blame): how often the
+// server was caught lying, observed crashed, or seen straggling. Operators
+// read this to decide who gets replaced vs who just has a bad link.
+struct ServerBlameTally {
+  std::uint64_t byzantine = 0;
+  std::uint64_t crashed = 0;
+  std::uint64_t straggler = 0;
+
+  std::uint64_t total() const { return byzantine + crashed + straggler; }
+};
+
 // Session-level driver for §4 statistics workloads over a k-server
 // deployment: wraps the robust multi-server sum (§3.1, f = sum) with a
 // ServerHealthTracker so that a client issuing many queries against the
@@ -128,6 +140,10 @@ class RobustStatsSession {
   std::size_t num_servers() const { return proto_.num_servers(); }
   const net::ServerHealthTracker& health() const { return health_; }
   std::size_t queries_issued() const { return query_no_; }
+
+  // One tally per server, folded from every attempt (success or terminal
+  // failure) the session has driven.
+  const std::vector<ServerBlameTally>& blame_tally() const { return blame_; }
 
   // Robust sum of the selected items. Feeds the outcome (success or
   // terminal failure) into the health tracker, then returns or rethrows.
@@ -153,12 +169,14 @@ class RobustStatsSession {
   net::RobustResult run_one(net::StarNetwork& net, std::span<const std::uint64_t> database,
                             const std::vector<std::size_t>& indices,
                             const std::optional<crypto::Prg::Seed>& spir_seed);
+  void tally_blame(const net::RobustnessReport& report);
 
   field::Fp64 field_;
   MultiServerSumSpfe proto_;
   RobustStatsConfig config_;
   crypto::Prg prg_;
   net::ServerHealthTracker health_;
+  std::vector<ServerBlameTally> blame_;
   std::size_t query_no_ = 0;
 };
 

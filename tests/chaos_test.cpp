@@ -19,6 +19,7 @@
 //     health tracker demotes the chronic straggler to hedge-spare duty.
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -26,6 +27,7 @@
 #include "common/parallel.h"
 #include "crypto/prg.h"
 #include "field/fp64.h"
+#include "net/adversary.h"
 #include "net/fault.h"
 #include "net/robust.h"
 #include "net/sim.h"
@@ -118,8 +120,27 @@ Outcome run_schedule(const std::string& label) {
   rc.timing.hedge_timeout_us = spares == 0 ? 0 : 300 + meta.uniform(700);
   rc.timing.backoff_seed = meta.fork_seed("backoff");
 
+  // Adaptive adversary riding the same fault budget: content-aware lying
+  // strategies may only drive servers the plan already charges as byzantine
+  // (a forged answer costs the same two points as a wire-corrupted one);
+  // silent/slow strategies may additionally drive the unavailable set (a
+  // strategic drop or straggle is never worse than the crash already
+  // budgeted for that server). Schedules with no faulty servers run clean.
+  const auto adv_kind = static_cast<StrategyKind>(meta.uniform(kNumStrategyKinds));
+  std::vector<std::size_t> adv_pool = plan.byzantine_servers();
+  if (!strategy_lies(adv_kind)) {
+    adv_pool.insert(adv_pool.end(), plan.unavailable_servers().begin(),
+                    plan.unavailable_servers().end());
+  }
+  Prg strat_prg = meta.fork("strategy");
+  std::optional<AdversaryEngine> engine;
+  if (!adv_pool.empty()) {
+    engine.emplace(make_strategy(adv_kind, field.modulus(), strat_prg), adv_pool);
+  }
+
   const spfe::protocols::MultiServerSumSpfe proto(field, 64, 2, k, 1);
   RecordingNet<SimStarNetwork> net(k, cfg, plan);
+  if (engine.has_value()) net.set_adversary(&*engine);
   Prg proto_prg = meta.fork("proto");
   const auto seed = proto_prg.fork_seed("spir");
 

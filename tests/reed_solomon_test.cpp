@@ -235,6 +235,129 @@ TEST(DecodeWithErasures, BeyondBudgetReturnsNullopt) {
   EXPECT_FALSE(decode_with_erasures(f, xs, ys, d).has_value());
 }
 
+// --- consistent-lie tightness boundaries ------------------------------------
+//
+// The adversary engine's ConsistentLieStrategy (net/adversary.h) corrupts
+// points with one shared offset delta, so every lie sits on the *same*
+// degree-d polynomial P + delta — the attack class no per-point check can
+// see. These tests pin the exact decode boundaries the robust drivers rely
+// on: e such lies at d+1+2e are corrected, e+1 fail closed (never a wrong
+// value), and at the bare d+1 interpolation quorum a single lie decodes
+// silently wrong — the reason TimingPolicy::byzantine_budget raises the
+// early-decode quorum (tests/adversary_test.cpp witnesses it end-to-end).
+
+TEST(ConsistentLieTightness, ExactlyEConsistentLiesAreCorrected) {
+  const Fp64 f(Fp64::kMersenne61);
+  crypto::Prg prg("lie-exact");
+  const std::uint64_t delta = 123456789;
+  for (std::size_t d = 2; d <= 6; ++d) {
+    for (std::size_t e = 1; e <= 2; ++e) {
+      const std::size_t k = d + 1 + 2 * e;
+      const auto poly = Polynomial<Fp64>::random(f, d, prg);
+      std::vector<std::uint64_t> xs(k), ys(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        xs[i] = i + 1;
+        ys[i] = poly.eval(xs[i]);
+      }
+      for (std::size_t j = 0; j < e; ++j) ys[j] = f.add(ys[j], delta);
+      const auto dec = berlekamp_welch_decode(f, xs, ys, d, e);
+      ASSERT_TRUE(dec.has_value()) << "d=" << d << " e=" << e;
+      EXPECT_EQ(dec->eval(f, f.zero()), poly.eval(0)) << "d=" << d << " e=" << e;
+      EXPECT_EQ(dec->num_errors(), e) << "d=" << d << " e=" << e;
+      for (std::size_t j = 0; j < e; ++j) EXPECT_FALSE(dec->agrees[j]) << "d=" << d;
+    }
+  }
+}
+
+TEST(ConsistentLieTightness, EPlusOneConsistentLiesFailClosedNeverWrong) {
+  // At k = d+1+2e, e+1 colluders on one delta put the points at distance
+  // e+1 from P and distance d+e from P+delta — both beyond the e budget, so
+  // the decode must return nullopt rather than either polynomial.
+  const Fp64 f(Fp64::kMersenne61);
+  crypto::Prg prg("lie-overbudget");
+  const std::uint64_t delta = 987654321;
+  for (std::size_t d = 2; d <= 6; ++d) {
+    for (std::size_t e = 1; e <= 2; ++e) {
+      const std::size_t k = d + 1 + 2 * e;
+      const auto poly = Polynomial<Fp64>::random(f, d, prg);
+      std::vector<std::uint64_t> xs(k), ys(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        xs[i] = i + 1;
+        ys[i] = poly.eval(xs[i]);
+      }
+      for (std::size_t j = 0; j < e + 1; ++j) ys[j] = f.add(ys[j], delta);
+      EXPECT_FALSE(berlekamp_welch_decode(f, xs, ys, d, e).has_value())
+          << "d=" << d << " e=" << e;
+      EXPECT_FALSE(decode_with_erasures(f, xs, ys, d).has_value())
+          << "d=" << d << " e=" << e;
+    }
+  }
+}
+
+TEST(ConsistentLieTightness, BareInterpolationQuorumDecodesSilentlyWrong) {
+  // s = d+1 points with zero error capacity: interpolation fits ANY d+1
+  // points, so one consistent lie yields a "successful" decode of the wrong
+  // polynomial with a clean agrees vector — the silent failure mode the
+  // byzantine-budget quorum guard exists to forbid. One more point (s =
+  // d+2) is already enough slack to expose the lie wherever it sits.
+  const Fp64 f(Fp64::kMersenne61);
+  crypto::Prg prg("lie-bare-quorum");
+  const std::size_t d = 4;
+  const std::uint64_t delta = 5555;
+  const auto poly = Polynomial<Fp64>::random(f, d, prg);
+  std::vector<std::uint64_t> xs(d + 1), ys(d + 1);
+  for (std::size_t i = 0; i <= d; ++i) {
+    xs[i] = i + 1;
+    ys[i] = poly.eval(xs[i]);
+  }
+  ys[2] = f.add(ys[2], delta);
+
+  const auto dec = decode_with_erasures(f, xs, ys, d);
+  ASSERT_TRUE(dec.has_value()) << "bare-quorum interpolation cannot reject anything";
+  EXPECT_EQ(dec->num_errors(), 0u) << "the lie is invisible to the agrees vector";
+  EXPECT_NE(dec->eval(f, f.zero()), poly.eval(0)) << "and the decoded value is wrong";
+
+  // d+2 points, same single lie, at every lie position: detected-or-error.
+  for (std::size_t liar = 0; liar < d + 2; ++liar) {
+    std::vector<std::uint64_t> xs2(d + 2), ys2(d + 2);
+    for (std::size_t i = 0; i < d + 2; ++i) {
+      xs2[i] = i + 1;
+      ys2[i] = poly.eval(xs2[i]);
+    }
+    ys2[liar] = f.add(ys2[liar], delta);
+    EXPECT_FALSE(decode_with_erasures(f, xs2, ys2, d).has_value()) << "liar=" << liar;
+  }
+}
+
+TEST(ConsistentLieTightness, ErasurePlusLieMixAtTheExactUnitBudgetBoundary) {
+  // Provision k = d+1+2e+c; erase c points and plant e consistent lies:
+  // s = d+1+2e survivors decode exactly. One additional erasure drops the
+  // error capacity to e-1 and the same lies must fail closed.
+  const Fp64 f(Fp64::kMersenne61);
+  crypto::Prg prg("lie-erasure-boundary");
+  const std::size_t d = 3, e = 2, c = 2;
+  const std::uint64_t delta = 424242;
+  const std::size_t k = d + 1 + 2 * e + c;
+  const auto poly = Polynomial<Fp64>::random(f, d, prg);
+
+  std::vector<std::uint64_t> xs, ys;
+  for (std::size_t i = c; i < k; ++i) {  // the first c points are erased
+    xs.push_back(i + 1);
+    ys.push_back(poly.eval(i + 1));
+  }
+  for (std::size_t j = 0; j < e; ++j) ys[2 * j] = f.add(ys[2 * j], delta);
+
+  const auto dec = decode_with_erasures(f, xs, ys, d);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->eval(f, f.zero()), poly.eval(0));
+  EXPECT_EQ(dec->num_errors(), e);
+
+  // c+1 erasures: s = d+2e, capacity e-1 < e lies -> fail closed.
+  xs.erase(xs.begin() + 1);  // drop an honest survivor, keeping both lies
+  ys.erase(ys.begin() + 1);
+  EXPECT_FALSE(decode_with_erasures(f, xs, ys, d).has_value());
+}
+
 // --- end-to-end: §3.1 with malicious servers --------------------------------
 
 TEST(MultiServerFaultTolerance, SumSurvivesCorruptAnswers) {
